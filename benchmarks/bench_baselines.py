@@ -1,0 +1,53 @@
+"""Experiment O4 — sequential baselines vs the distributed simulation.
+
+Wall-clock comparison of the Batagelj–Zaveršnik O(m) algorithm, naive
+peeling, networkx's core_number, and a full simulated run of the
+distributed protocol. Not a paper artifact per se, but grounds the
+"centralized algorithms already exist [3]" remark: the distributed
+protocol pays simulation overhead for its distribution, while BZ is the
+fastest way to the same answer on one machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import batagelj_zaversnik, networkx_coreness, peeling_coreness
+from repro.core.one_to_one import OneToOneConfig, run_one_to_one
+from repro.datasets import load
+
+from benchmarks.conftest import BENCH_SCALE
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load("condmat", scale=BENCH_SCALE, seed=11)
+
+
+@pytest.fixture(scope="module")
+def truth(graph):
+    return batagelj_zaversnik(graph)
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_batagelj_zaversnik(benchmark, graph, truth):
+    assert benchmark(batagelj_zaversnik, graph) == truth
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_peeling(benchmark, graph, truth):
+    assert benchmark(peeling_coreness, graph) == truth
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_networkx(benchmark, graph, truth):
+    assert benchmark(networkx_coreness, graph) == truth
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_distributed_simulation(benchmark, graph, truth):
+    result = benchmark.pedantic(
+        run_one_to_one, args=(graph, OneToOneConfig(seed=3)),
+        rounds=1, iterations=1,
+    )
+    assert result.coreness == truth

@@ -1,0 +1,77 @@
+"""Experiment O2 — measured cost vs the paper's theoretical bounds.
+
+For each dataset and structured family: measured execution time against
+Theorem 4 (1 + total initial error), Theorem 5 (N) and Corollary 1
+(N - K + 1); measured update messages against Corollary 2 (Σd² - 2M).
+The paper's observation to reproduce: real graphs sit *far* below the
+worst-case bounds (tens of rounds vs hundreds of thousands).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.baselines.batagelj_zaversnik import batagelj_zaversnik
+from repro.core import theory
+from repro.core.one_to_one import OneToOneConfig, run_one_to_one
+from repro.datasets import PAPER_DATASETS
+from repro.graph.generators import path_graph, worst_case_graph
+from repro.utils.csvio import write_csv
+from repro.utils.tables import format_table
+
+from benchmarks.conftest import BENCH_SCALE
+
+
+def _bound_row(name, graph):
+    truth = batagelj_zaversnik(graph)
+    result = run_one_to_one(
+        graph, OneToOneConfig(mode="lockstep", optimize_sends=False)
+    )
+    assert result.coreness == truth
+    updates = result.stats.total_messages - 2 * graph.num_edges
+    return [
+        name,
+        result.stats.execution_time,
+        theory.corollary1_bound(graph),
+        theory.theorem4_bound(graph, truth),
+        updates,
+        theory.corollary2_message_bound(graph),
+    ]
+
+
+def test_bounds_on_datasets(benchmark, report, out_dir):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for spec in PAPER_DATASETS:
+            rows.append(_bound_row(spec.name, spec.build(scale=BENCH_SCALE, seed=11)))
+        rows.append(_bound_row("worst-case-100", worst_case_graph(100)))
+        rows.append(_bound_row("chain-100", path_graph(100)))
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = [
+        "graph", "rounds", "Cor1 N-K+1", "Thm4 1+err",
+        "updates", "Cor2 bound",
+    ]
+    report(
+        format_table(
+            headers, rows,
+            title="Measured cost vs theoretical bounds (lockstep, unoptimized)",
+        )
+    )
+    write_csv(os.path.join(out_dir, "bounds.csv"), headers, rows)
+
+    for row in rows:
+        name, rounds, cor1, thm4, updates, cor2 = row
+        assert rounds <= cor1, name
+        assert rounds <= thm4, name
+        assert updates <= cor2, name
+    # real graphs sit far below the bounds; the worst-case family does not
+    dataset_rows = rows[:-2]
+    assert all(row[1] < 0.1 * row[2] for row in dataset_rows), (
+        "datasets should converge far below the N-K+1 bound"
+    )
+    worst = rows[-2]
+    assert worst[1] > 0.9 * worst[2], "worst case should be near its bound"

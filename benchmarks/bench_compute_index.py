@@ -1,0 +1,51 @@
+"""Experiment O5 — micro-benchmark of the computeIndex kernel.
+
+computeIndex runs once per activation per node; its cost is O(d + k).
+These micro-benchmarks pin the kernel's scaling across degrees, and the
+worklist-vs-naive cascade cost on a single host owning a whole graph
+(the |H| = 1 degenerate case of the one-to-many protocol).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.compute_index import (
+    compute_index,
+    improve_estimate_naive,
+    improve_estimate_worklist,
+)
+from repro.graph.generators import powerlaw_cluster_graph
+
+
+@pytest.mark.benchmark(group="compute-index")
+@pytest.mark.parametrize("degree", [10, 100, 1000, 10000])
+def test_compute_index_scaling(benchmark, degree):
+    rng = random.Random(7)
+    estimates = [rng.randrange(1, degree) for _ in range(degree)]
+    result = benchmark(compute_index, estimates, degree)
+    assert 1 <= result <= degree
+
+
+@pytest.mark.benchmark(group="improve-estimate")
+@pytest.mark.parametrize("variant", ["worklist", "naive"])
+def test_single_host_cascade(benchmark, variant):
+    graph = powerlaw_cluster_graph(2000, m=4, p=0.3, seed=5)
+    neighbors = {u: tuple(graph.neighbors(u)) for u in graph.nodes()}
+    owned = list(graph.nodes())
+
+    def run():
+        est = {u: graph.degree(u) for u in owned}
+        changed: set[int] = set()
+        if variant == "worklist":
+            improve_estimate_worklist(est, owned, neighbors, changed)
+        else:
+            improve_estimate_naive(est, owned, neighbors, changed)
+        return est
+
+    est = benchmark(run)
+    from repro.baselines.batagelj_zaversnik import batagelj_zaversnik
+
+    assert est == batagelj_zaversnik(graph)

@@ -1,0 +1,75 @@
+"""Experiment F3 — Section 4's worst-case family (Figure 3) and chains.
+
+Verifies the linear-in-N convergence of the worst-case construction
+(N-1 rounds in the paper's T+1 counting; N-2 send-rounds — see
+DESIGN.md's convention note) against its constant diameter of 3, and
+the ceil(N/2) rounds of linear chains.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.one_to_one import OneToOneConfig, run_one_to_one
+from repro.graph.generators import path_graph, worst_case_graph
+from repro.graph.stats import diameter_exact
+from repro.utils.csvio import write_csv
+from repro.utils.tables import format_table
+
+UNOPT = dict(mode="lockstep", optimize_sends=False)
+
+SIZES = [5, 8, 12, 20, 40, 80, 160, 320]
+
+
+def test_fig3_worst_case_rounds(benchmark, report, out_dir):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for n in SIZES:
+            graph = worst_case_graph(n)
+            result = run_one_to_one(graph, OneToOneConfig(**UNOPT))
+            rows.append(
+                [
+                    n,
+                    result.stats.rounds_executed,
+                    n - 1,
+                    result.stats.execution_time,
+                    diameter_exact(graph) if n >= 7 else "-",
+                ]
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["N", "rounds (T+1)", "paper N-1", "send-rounds", "diameter"]
+    report(
+        format_table(
+            headers,
+            rows,
+            title="Figure 3 family: linear rounds, constant diameter",
+        )
+    )
+    write_csv(os.path.join(out_dir, "fig3_worst_case.csv"), headers, rows)
+    for row in rows:
+        assert row[1] == row[2], f"worst case N={row[0]}: {row[1]} != N-1"
+    for row in rows:
+        if row[0] >= 7:
+            assert row[4] == 3
+
+
+def test_fig3_linear_chain_rounds(benchmark, report, out_dir):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for n in SIZES:
+            result = run_one_to_one(path_graph(n), OneToOneConfig(**UNOPT))
+            rows.append([n, result.stats.execution_time, -(-n // 2)])
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["N", "send-rounds", "paper ceil(N/2)"]
+    report(format_table(headers, rows, title="Linear chains: ceil(N/2) rounds"))
+    write_csv(os.path.join(out_dir, "fig3_chains.csv"), headers, rows)
+    for row in rows:
+        assert row[1] == row[2]

@@ -1,0 +1,93 @@
+"""Experiment F4 — Figure 4: evolution of the estimate error over time.
+
+Left panel: average error over all nodes per round (log scale). Right
+panel: maximum error over all nodes per round. The paper's claims to
+reproduce: errors collapse within the first handful of rounds, and the
+maximum error is at most 1 by round ~22 on every dataset even though
+full convergence can take hundreds of rounds (web/road graphs).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.error_traces import run_with_error_trace
+from repro.core.one_to_one import OneToOneConfig
+from repro.datasets import PAPER_DATASETS
+from repro.utils.ascii_plot import ascii_series_plot
+from repro.utils.csvio import write_csv
+from repro.utils.tables import format_table
+
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_fig4_error_evolution(benchmark, report, out_dir):
+    traces = {}
+
+    def run_all():
+        traces.clear()
+        for spec in PAPER_DATASETS:
+            graph = spec.build(scale=BENCH_SCALE, seed=11)
+            _, trace = run_with_error_trace(graph, OneToOneConfig(seed=29))
+            traces[spec.name] = trace
+        return traces
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # CSV: one long-format file per panel
+    avg_rows = []
+    max_rows = []
+    summary_rows = []
+    for name, trace in traces.items():
+        for round_number, value in enumerate(trace.average_error, start=1):
+            avg_rows.append([name, round_number, value])
+        for round_number, value in enumerate(trace.maximum_error, start=1):
+            max_rows.append([name, round_number, value])
+        summary_rows.append(
+            [
+                name,
+                len(trace.average_error),
+                round(trace.average_error[0], 3),
+                trace.rounds_to_max_error(1) or "-",
+                trace.rounds_to_max_error(0) or "-",
+            ]
+        )
+    write_csv(
+        os.path.join(out_dir, "fig4_average_error.csv"),
+        ["dataset", "round", "average_error"],
+        avg_rows,
+    )
+    write_csv(
+        os.path.join(out_dir, "fig4_maximum_error.csv"),
+        ["dataset", "round", "maximum_error"],
+        max_rows,
+    )
+
+    report(
+        format_table(
+            ["dataset", "rounds", "initial avg err",
+             "round max err<=1", "round max err=0"],
+            summary_rows,
+            title="Figure 4 summary: error evolution",
+        )
+    )
+    report(
+        ascii_series_plot(
+            {
+                name: [
+                    (r, max(err, 1e-6))
+                    for r, err in enumerate(trace.average_error, start=1)
+                ]
+                for name, trace in traces.items()
+            },
+            logy=True,
+            title="Figure 4 (left): average error vs round (log y)",
+        )
+    )
+
+    # paper claim: max error <= 1 by round ~22 on all datasets
+    for name, trace in traces.items():
+        reached = trace.rounds_to_max_error(1)
+        assert reached is not None and reached <= 25, (
+            f"{name}: max error stayed > 1 until round {reached}"
+        )

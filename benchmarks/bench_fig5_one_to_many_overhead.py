@@ -1,0 +1,88 @@
+"""Experiment F5 — Figure 5: one-to-many overhead vs number of hosts.
+
+Overhead = estimates sent to another host, per node. Left panel:
+broadcast medium — a single per-round transmission carries all changed
+estimates, so the overhead stays very low (paper: always below ~3) and
+roughly flat in the host count. Right panel: point-to-point — each
+neighbouring host gets its own copy, so the overhead grows with the
+host count, levelling off toward the one-to-one message rate.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.reports import overhead_sweep
+from repro.core.one_to_one import OneToOneConfig, run_one_to_one
+from repro.datasets import load
+from repro.utils.ascii_plot import ascii_series_plot
+from repro.utils.csvio import write_csv
+from repro.utils.tables import format_table
+
+from benchmarks.conftest import BENCH_REPS, BENCH_SCALE
+
+HOSTS = [2, 4, 8, 16, 32, 64, 128, 256, 512]
+DATASETS = ["astro", "gnutella", "slashdot", "amazon", "web-berkstan"]
+
+
+@pytest.mark.parametrize("communication", ["broadcast", "p2p"])
+def test_fig5_overhead(benchmark, communication, report, out_dir):
+    curves: dict[str, list[tuple[int, float]]] = {}
+
+    def sweep():
+        curves.clear()
+        for name in DATASETS:
+            graph = load(name, scale=BENCH_SCALE, seed=11)
+            curves[name] = overhead_sweep(
+                graph,
+                HOSTS,
+                communication,
+                repetitions=max(1, BENCH_REPS - 1),
+                seed=31,
+            )
+        return curves
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    headers = ["dataset"] + [f"H={h}" for h in HOSTS]
+    rows = [
+        [name] + [round(value, 2) for _, value in points]
+        for name, points in curves.items()
+    ]
+    title = (
+        f"Figure 5 ({'left' if communication == 'broadcast' else 'right'}): "
+        f"overhead per node, {communication}"
+    )
+    report(format_table(headers, rows, title=title))
+    report(
+        ascii_series_plot(
+            {n: [(h, v) for h, v in pts] for n, pts in curves.items()},
+            title=title,
+        )
+    )
+    write_csv(
+        os.path.join(out_dir, f"fig5_{communication}.csv"),
+        ["dataset", "hosts", "overhead_per_node"],
+        [
+            [name, hosts, value]
+            for name, points in curves.items()
+            for hosts, value in points
+        ],
+    )
+
+    if communication == "broadcast":
+        # paper: "always smaller than 3"
+        for name, points in curves.items():
+            assert all(value < 3.0 for _, value in points), name
+    else:
+        # paper: grows with hosts, toward the one-to-one message level
+        for name, points in curves.items():
+            assert points[-1][1] > points[0][1], name
+        # crossover sanity: p2p at max hosts is within ~3x of the
+        # one-to-one per-node update count on at least one dataset
+        graph = load("gnutella", scale=BENCH_SCALE, seed=11)
+        one = run_one_to_one(graph, OneToOneConfig(seed=5, optimize_sends=False))
+        p2p_final = curves["gnutella"][-1][1]
+        assert p2p_final <= 3.0 * one.stats.messages_avg

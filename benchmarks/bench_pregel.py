@@ -1,0 +1,86 @@
+"""Experiment O6 — the Pregel port (the paper's Conclusions).
+
+Measures the BSP implementation against the round engine and studies
+the two knobs a Pregel deployment would care about: the MIN combiner's
+traffic savings and the worker count's effect on the inter-worker
+message share (what would actually cross the network).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.baselines.batagelj_zaversnik import batagelj_zaversnik
+from repro.datasets import load
+from repro.pregel.kcore import run_pregel_kcore
+from repro.utils.csvio import write_csv
+from repro.utils.tables import format_table
+
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_pregel_worker_scaling(benchmark, report, out_dir):
+    graph = load("condmat", scale=BENCH_SCALE, seed=11)
+    truth = batagelj_zaversnik(graph)
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for workers in (1, 2, 4, 8, 16, 64):
+            result = run_pregel_kcore(graph, num_workers=workers)
+            assert result.coreness == truth
+            extra = result.stats.extra
+            total = result.stats.total_messages
+            rows.append(
+                [
+                    workers,
+                    extra["supersteps"],
+                    total,
+                    extra["inter_worker_messages"],
+                    round(100.0 * extra["inter_worker_messages"] / total, 1),
+                ]
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["workers", "supersteps", "messages", "inter-worker", "inter %"]
+    report(
+        format_table(
+            headers, rows,
+            title=f"Pregel worker scaling ({graph.name}, modulo partition)",
+        )
+    )
+    write_csv(os.path.join(out_dir, "pregel_workers.csv"), headers, rows)
+    # supersteps are a property of the schedule, not the partitioning
+    assert len({row[1] for row in rows}) == 1
+    # more workers -> more of the traffic crosses worker boundaries
+    assert rows[-1][3] >= rows[0][3]
+
+
+def test_pregel_combiner_savings(benchmark, report, out_dir):
+    graph = load("astro", scale=BENCH_SCALE, seed=11)
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for use_combiner in (True, False):
+            result = run_pregel_kcore(
+                graph, num_workers=8, use_combiner=use_combiner
+            )
+            rows.append(
+                [
+                    "with combiner" if use_combiner else "without",
+                    result.stats.total_messages,
+                    result.stats.extra["combined_away"],
+                ]
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["variant", "messages", "combined away"]
+    report(
+        format_table(
+            headers, rows, title=f"Pregel MIN-combiner effect ({graph.name})"
+        )
+    )
+    write_csv(os.path.join(out_dir, "pregel_combiner.csv"), headers, rows)

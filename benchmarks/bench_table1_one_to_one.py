@@ -1,0 +1,78 @@
+"""Experiment T1 — the paper's Table 1 (one-to-one protocol).
+
+For each of the nine datasets: graph statistics (|V|, |E|, diameter,
+d_max, k_max, k_avg) plus protocol performance over repeated randomized
+runs (t_avg / t_min / t_max execution time, m_avg / m_max messages per
+node, with the Section 3.1.2 optimization on, as in the paper).
+
+Shape claims reproduced (paper values at full SNAP scale, ours at
+synthetic stand-in scale — compare trends, not absolutes):
+
+* execution time is tens of rounds for small-diameter graphs;
+* the web graph (and road network) are the clear outliers;
+* m_avg is comparable to the average degree; m_max tracks d_max.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.reports import Table1Row, table1_row
+from repro.datasets import PAPER_DATASETS
+from repro.utils.csvio import write_csv
+from repro.utils.tables import format_table
+
+from benchmarks.conftest import BENCH_REPS, BENCH_SCALE
+
+_ROWS: list[list[object]] = []
+
+
+@pytest.mark.parametrize("spec", PAPER_DATASETS, ids=[s.name for s in PAPER_DATASETS])
+def test_table1_row(benchmark, spec, report, out_dir):
+    graph = spec.build(scale=BENCH_SCALE, seed=11)
+
+    def build_row() -> Table1Row:
+        return table1_row(
+            graph,
+            repetitions=BENCH_REPS,
+            seed=29,
+            optimize_sends=True,
+            exact_diameter_limit=3000,
+        )
+
+    row = benchmark.pedantic(build_row, rounds=1, iterations=1)
+    paper = spec.paper
+    _ROWS.append(row.as_list())
+    report(
+        format_table(
+            ("metric",) + Table1Row.HEADERS[1:],
+            [
+                ["measured"] + row.as_list()[1:],
+                [
+                    "paper",
+                    int(paper["num_nodes"]),
+                    int(paper["num_edges"]),
+                    int(paper["diameter"]),
+                    int(paper["dmax"]),
+                    int(paper["kmax"]),
+                    paper["kavg"],
+                    paper["tavg"],
+                    int(paper["tmin"]),
+                    int(paper["tmax"]),
+                    paper["mavg"],
+                    paper["mmax"],
+                ],
+            ],
+            title=f"Table 1 row: {spec.name} (stand-in for {spec.paper_name})",
+        )
+    )
+    if len(_ROWS) == len(PAPER_DATASETS):
+        path = write_csv(
+            os.path.join(out_dir, "table1.csv"), Table1Row.HEADERS, _ROWS
+        )
+        report(
+            format_table(Table1Row.HEADERS, _ROWS, title="Table 1 (all rows)")
+            + f"\n[written {path}]"
+        )

@@ -1,0 +1,82 @@
+"""Experiment O8 — the cost of knowing you are done (Section 3.3).
+
+Compares the three termination-detection mechanisms on detection
+latency (rounds past actual convergence) and control-message overhead,
+plus the accuracy/latency trade-off of the fixed-rounds mode (the Fig-4
+justification: "both the average and the maximum errors would be
+extremely low" after few rounds).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.baselines.batagelj_zaversnik import batagelj_zaversnik
+from repro.core.one_to_one import OneToOneConfig, run_one_to_one
+from repro.core.termination import (
+    run_fixed_rounds,
+    run_with_centralized_termination,
+    run_with_gossip_termination,
+)
+from repro.datasets import load
+from repro.utils.csvio import write_csv
+from repro.utils.tables import format_table
+
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_termination_mechanisms(benchmark, report, out_dir):
+    graph = load("gnutella", scale=BENCH_SCALE, seed=11)
+    truth = batagelj_zaversnik(graph)
+    rows = []
+
+    def sweep():
+        rows.clear()
+        plain = run_one_to_one(graph, OneToOneConfig(seed=13))
+        rows.append(
+            ["omniscient engine", plain.stats.execution_time,
+             plain.stats.total_messages, 0, "exact"]
+        )
+        central = run_with_centralized_termination(graph, OneToOneConfig(seed=13))
+        assert central.result.coreness == truth
+        rows.append(
+            ["centralized master", central.detected_round,
+             central.result.stats.total_messages,
+             central.control_messages, "exact"]
+        )
+        gossip = run_with_gossip_termination(
+            graph, threshold=10, config=OneToOneConfig(seed=13)
+        )
+        assert gossip.result.coreness == truth
+        rows.append(
+            ["gossip (threshold 10)", gossip.detected_round,
+             gossip.result.stats.total_messages,
+             gossip.control_messages, "exact"]
+        )
+        for budget in (5, 10, 20):
+            approx = run_fixed_rounds(
+                graph, rounds=budget, config=OneToOneConfig(seed=13)
+            )
+            errors = [approx.coreness[u] - truth[u] for u in truth]
+            wrong = sum(1 for e in errors if e)
+            rows.append(
+                [
+                    f"fixed {budget} rounds",
+                    budget,
+                    approx.stats.total_messages,
+                    0,
+                    f"max err {max(errors)}, {wrong} wrong",
+                ]
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["mechanism", "rounds to stop", "protocol msgs",
+               "control msgs", "accuracy"]
+    report(
+        format_table(
+            headers, rows,
+            title=f"Termination detection trade-offs ({graph.name})",
+        )
+    )
+    write_csv(os.path.join(out_dir, "termination.csv"), headers, rows)

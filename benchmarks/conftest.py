@@ -1,0 +1,43 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table or figure): it
+prints the same rows/series the paper reports (live, bypassing pytest's
+capture) and writes the raw data as CSV under ``benchmarks/out/``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — dataset scale factor (default 1.0; the
+  default sizes are a few thousand nodes per dataset, see
+  ``repro.datasets``). Raise it if you have minutes to spare, or drop
+  real SNAP edge lists in and point the loaders at them.
+* ``REPRO_BENCH_REPS`` — repetitions per randomized experiment
+  (default 3; the paper uses 50).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "3"))
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print experiment output live, bypassing pytest capture."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text, flush=True)
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> str:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return OUT_DIR

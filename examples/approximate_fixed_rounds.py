@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Termination in practice: exact detection vs fixed-round budgets.
+
+Section 3.3 sketches three ways to stop the protocol; Section 5.1's
+error analysis (Figure 4) shows why the cheapest one — just stop after
+R rounds — is often good enough: "the maximum error is at most equal
+to 1 by cycle 22" on every dataset. This example quantifies that
+trade-off on a road-network stand-in (one of the *slow* graphs, so
+approximation is actually interesting) and then shows both exact
+mechanisms (centralized master, decentralized gossip) paying their
+detection overhead.
+
+Run:  python examples/approximate_fixed_rounds.py
+"""
+
+from repro import OneToOneConfig, decompose
+from repro.core.termination import (
+    run_fixed_rounds,
+    run_with_centralized_termination,
+    run_with_gossip_termination,
+)
+from repro.datasets import load
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    graph = load("roadnet", scale=1.0, seed=11)
+    truth = decompose(graph, "bz").coreness
+    full = decompose(graph, "one-to-one", seed=3)
+    print(
+        f"road network stand-in: {graph.num_nodes} junctions; full "
+        f"convergence takes {full.stats.execution_time} rounds\n"
+    )
+
+    # -- fixed-round budgets ------------------------------------------
+    rows = []
+    for budget in (2, 5, 10, 20, 40, 80):
+        approx = run_fixed_rounds(
+            graph, rounds=budget, config=OneToOneConfig(seed=3)
+        )
+        errors = [approx.coreness[u] - truth[u] for u in truth]
+        wrong = sum(1 for e in errors if e)
+        rows.append(
+            (
+                budget,
+                max(errors),
+                round(sum(errors) / len(errors), 4),
+                f"{100 * wrong / len(errors):.2f}%",
+            )
+        )
+    print(format_table(
+        ("round budget", "max error", "avg error", "nodes wrong"),
+        rows,
+        title="fixed-round termination: accuracy vs budget",
+    ))
+    print(
+        "\nestimates only ever over-approximate (safety, Theorem 2), so "
+        "an early stop is a usable upper bound — by ~20 rounds the map "
+        "is essentially correct long before full convergence.\n"
+    )
+
+    # -- exact mechanisms ----------------------------------------------
+    central = run_with_centralized_termination(graph, OneToOneConfig(seed=3))
+    gossip = run_with_gossip_termination(
+        graph, threshold=12, config=OneToOneConfig(seed=3)
+    )
+    assert central.result.coreness == truth
+    assert gossip.result.coreness == truth
+    rows = [
+        (
+            "centralized master",
+            central.detected_round,
+            central.control_messages,
+        ),
+        (
+            "gossip max-aggregation (threshold 12)",
+            gossip.detected_round,
+            gossip.control_messages,
+        ),
+    ]
+    print(format_table(
+        ("mechanism", "declared at round", "control messages"),
+        rows,
+        title="exact termination detection",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""One-to-one scenario: a live P2P overlay inspecting itself.
+
+The paper's first motivation: "cores with larger k are known to be good
+spreaders [Kitsak et al.], this information could be used at run-time
+to optimize the diffusion of messages in epidemic protocols". This
+example plays that scenario end to end:
+
+1. build a social-overlay graph (each node is one host);
+2. run the distributed protocol so every node learns its own coreness
+   (no node ever sees the full graph — only its neighbours' estimates);
+3. seed an SIR epidemic from the top-coreness nodes, and compare the
+   outbreak size against top-degree and random seeding.
+
+Run:  python examples/gossip_spreaders.py
+"""
+
+from repro import OneToOneConfig, run_one_to_one
+from repro.analysis.spreading import spreading_power
+from repro.datasets import load
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    overlay = load("slashdot", scale=0.5, seed=42)
+    print(
+        f"overlay: {overlay.num_nodes} peers, {overlay.num_edges} links "
+        f"(slashdot-like social graph)"
+    )
+
+    # every peer runs Algorithm 1; the run-time cost is what a live
+    # system would pay to learn its own core structure
+    result = run_one_to_one(overlay, OneToOneConfig(seed=7))
+    print(
+        f"self-inspection finished in {result.stats.execution_time} rounds, "
+        f"{result.stats.messages_avg:.1f} messages/peer on average\n"
+    )
+
+    num_seeds = 5
+    by_coreness = result.top_spreaders(num_seeds)
+    by_degree = sorted(
+        overlay.nodes(), key=lambda u: (-overlay.degree(u), u)
+    )[:num_seeds]
+    rng = make_rng(99)
+    random_seeds = rng.sample(sorted(overlay.nodes()), num_seeds)
+
+    outbreaks = spreading_power(
+        overlay,
+        {
+            "top coreness (paper's proposal)": by_coreness,
+            "top degree": by_degree,
+            "random": random_seeds,
+        },
+        infect_prob=0.04,
+        trials=40,
+        seed=3,
+    )
+
+    rows = [
+        (strategy, round(size, 1), f"{100 * size / overlay.num_nodes:.1f}%")
+        for strategy, size in sorted(
+            outbreaks.items(), key=lambda item: -item[1]
+        )
+    ]
+    print(format_table(
+        ("seeding strategy", "mean outbreak", "of overlay"),
+        rows,
+        title=f"SIR epidemics from {num_seeds} seeds (40 trials)",
+    ))
+
+    best = max(outbreaks, key=outbreaks.get)
+    print(f"\nbest strategy: {best}")
+    print(
+        "note: high-coreness seeds sit inside the dense nucleus, which is "
+        "exactly why the paper wants coreness available at run time."
+    )
+
+
+if __name__ == "__main__":
+    main()

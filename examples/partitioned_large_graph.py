@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""One-to-many scenario: decomposing a graph too large for one machine.
+
+The paper's second motivation: a graph (Facebook-scale in their
+example) is sharded over a cluster; each host owns a slice of nodes and
+runs Algorithm 3 on their behalf, exchanging only boundary estimates.
+This example shards a web-like graph over a varying number of hosts and
+reports what a cluster operator would care about:
+
+* the answer never changes (any host count, any placement);
+* the per-node communication overhead for both media (Figure 5);
+* how placement policy changes the cut and therefore the traffic.
+
+Run:  python examples/partitioned_large_graph.py
+"""
+
+from repro import OneToManyConfig, assign, decompose, run_one_to_many
+from repro.datasets import load
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    graph = load("web-berkstan", scale=0.6, seed=11)
+    print(
+        f"web crawl stand-in: {graph.num_nodes} pages, "
+        f"{graph.num_edges} links\n"
+    )
+
+    reference = decompose(graph, "bz")
+
+    # -- host count sweep (Figure 5's experiment, both media) ---------
+    rows = []
+    for hosts in (2, 8, 32, 128):
+        per_medium = {}
+        for medium in ("broadcast", "p2p"):
+            run = run_one_to_many(
+                graph,
+                OneToManyConfig(
+                    num_hosts=hosts, communication=medium, seed=5
+                ),
+            )
+            assert run.coreness == reference.coreness
+            per_medium[medium] = run
+        rows.append(
+            (
+                hosts,
+                per_medium["broadcast"].stats.execution_time,
+                round(
+                    per_medium["broadcast"].stats.extra[
+                        "estimates_sent_per_node"
+                    ],
+                    2,
+                ),
+                round(
+                    per_medium["p2p"].stats.extra["estimates_sent_per_node"],
+                    2,
+                ),
+            )
+        )
+    print(format_table(
+        ("hosts", "rounds", "overhead (broadcast)", "overhead (p2p)"),
+        rows,
+        title="host count sweep — overhead = estimates sent per node",
+    ))
+    print(
+        "\nbroadcast stays flat and tiny (one message per host per round "
+        "carries everything); p2p pays per neighbouring host.\n"
+    )
+
+    # -- placement policies -------------------------------------------
+    hosts = 16
+    rows = []
+    for policy in ("modulo", "block", "random", "bfs"):
+        assignment = assign(graph, hosts, policy=policy, seed=1)
+        run = run_one_to_many(
+            graph,
+            OneToManyConfig(num_hosts=hosts, communication="p2p", seed=5),
+            assignment=assignment,
+        )
+        assert run.coreness == reference.coreness
+        rows.append(
+            (
+                policy,
+                assignment.cut_edges(graph),
+                round(run.stats.extra["estimates_sent_per_node"], 2),
+            )
+        )
+    print(format_table(
+        ("placement policy", "cut edges", "overhead (p2p)"),
+        rows,
+        title=f"placement matters at {hosts} hosts",
+    ))
+    print(
+        "\nthe paper ships with modulo (simple, balanced); a BFS-chunk "
+        "placement keeps neighbourhoods together and cuts the traffic."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Extension: weighted cores on a collaboration network.
+
+Classic coreness treats a co-authorship once-off the same as a decade
+of joint papers. The generalized cores of Batagelj & Zaveršnik (the
+paper's reference [3]) weight each edge — here by collaboration
+count — and the paper's distributed algorithm carries over unchanged
+(the locality theorem only needs a monotone local property function).
+This example contrasts the two rankings and shows the distributed
+weighted protocol agreeing with sequential generalized peeling.
+
+Run:  python examples/weighted_collaboration.py
+"""
+
+from repro.analysis.comparison import kendall_tau, top_k_jaccard
+from repro.baselines import batagelj_zaversnik
+from repro.datasets.families import collaboration_graph
+from repro.generalized import run_distributed_weighted, weighted_core_levels
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    graph = collaboration_graph(
+        num_authors=800, num_papers=700, max_team=10, seed=21
+    )
+    print(
+        f"collaboration network: {graph.num_nodes} authors, "
+        f"{graph.num_edges} co-author pairs"
+    )
+
+    # weight = number of joint papers, approximated by a repeat-draw
+    rng = make_rng(5)
+    weights = {}
+    for u, v in graph.edges():
+        key = (min(u, v), max(u, v))
+        weights[key] = float(1 + min(rng.randrange(6), rng.randrange(6)))
+
+    classic = batagelj_zaversnik(graph)
+    sequential = weighted_core_levels(graph, weights)
+    distributed = run_distributed_weighted(graph, weights, seed=3)
+    assert distributed.levels == sequential
+    print(
+        "distributed weighted protocol == sequential generalized peeling "
+        f"(converged in {distributed.stats.execution_time} rounds)\n"
+    )
+
+    classic_f = {u: float(k) for u, k in classic.items()}
+    print(format_table(
+        ("metric", "value"),
+        [
+            ("classic k_max", max(classic.values())),
+            ("weighted level max", max(sequential.values())),
+            ("Kendall tau (classic vs weighted)",
+             round(kendall_tau(classic_f, sequential), 3)),
+            ("top-20 overlap (Jaccard)",
+             round(top_k_jaccard(classic_f, sequential, 20), 3)),
+        ],
+        title="classic vs weighted core rankings",
+    ))
+    print(
+        "\nthe rankings correlate but disagree on the top authors: "
+        "weighted cores reward strong repeated collaborations over "
+        "many weak ones — exactly what the unweighted decomposition "
+        "cannot see."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that editable
+installs work on environments whose setuptools predates PEP 660 wheel
+support (no ``wheel`` package required).
+"""
+
+from setuptools import setup
+
+setup()

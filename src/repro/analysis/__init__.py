@@ -1,0 +1,46 @@
+"""Analyses that regenerate the paper's tables and figures.
+
+* :mod:`repro.analysis.error_traces` — Figure 4 (average / maximum
+  estimate error per round).
+* :mod:`repro.analysis.core_completion` — Table 2 (fraction of each
+  coreness class still wrong at round checkpoints).
+* :mod:`repro.analysis.reports` — Table 1 rows and the Figure-5
+  overhead sweep for the one-to-many protocol.
+* :mod:`repro.analysis.spreading` — SIR epidemic simulation backing the
+  "influential spreaders" motivation (Kitsak et al., reference [8]).
+"""
+
+from repro.analysis.error_traces import ErrorTraceObserver, run_with_error_trace
+from repro.analysis.core_completion import (
+    CoreCompletionObserver,
+    core_completion_table,
+)
+from repro.analysis.reports import (
+    Table1Row,
+    table1_row,
+    overhead_sweep,
+)
+from repro.analysis.spreading import sir_spread, spreading_power
+from repro.analysis.fingerprint import core_fingerprint, render_fingerprint
+from repro.analysis.comparison import (
+    agreement_fraction,
+    kendall_tau,
+    top_k_jaccard,
+)
+
+__all__ = [
+    "ErrorTraceObserver",
+    "run_with_error_trace",
+    "CoreCompletionObserver",
+    "core_completion_table",
+    "Table1Row",
+    "table1_row",
+    "overhead_sweep",
+    "sir_spread",
+    "spreading_power",
+    "core_fingerprint",
+    "render_fingerprint",
+    "agreement_fraction",
+    "kendall_tau",
+    "top_k_jaccard",
+]

@@ -1,0 +1,77 @@
+"""Comparing node rankings and decompositions.
+
+Used by the spreading example and tests to quantify how coreness-based
+node rankings relate to degree-based ones (the Kitsak et al. argument
+is precisely that they *differ* in a useful way: hubs on the periphery
+rank high by degree but low by coreness).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "agreement_fraction",
+    "top_k_jaccard",
+    "kendall_tau",
+    "ranking_from_scores",
+]
+
+Scores = Mapping[int, float]
+
+
+def agreement_fraction(a: Mapping[int, int], b: Mapping[int, int]) -> float:
+    """Fraction of nodes on which two maps agree exactly."""
+    if set(a) != set(b):
+        raise ConfigurationError("maps cover different node sets")
+    if not a:
+        return 1.0
+    return sum(1 for u in a if a[u] == b[u]) / len(a)
+
+
+def ranking_from_scores(scores: Scores) -> list[int]:
+    """Nodes sorted by decreasing score (ties broken by id)."""
+    return sorted(scores, key=lambda u: (-scores[u], u))
+
+
+def top_k_jaccard(a: Scores, b: Scores, k: int) -> float:
+    """Jaccard similarity of the two top-k node sets."""
+    if k < 1:
+        raise ConfigurationError("k must be >= 1")
+    top_a = set(ranking_from_scores(a)[:k])
+    top_b = set(ranking_from_scores(b)[:k])
+    union = top_a | top_b
+    if not union:
+        return 1.0
+    return len(top_a & top_b) / len(union)
+
+
+def kendall_tau(a: Scores, b: Scores) -> float:
+    """Kendall rank correlation (tau-a) between two score maps.
+
+    Counts concordant minus discordant node pairs over all pairs; pairs
+    tied in either map contribute zero. O(n^2) — fine for the analysis
+    sizes used here (samples, not million-node graphs).
+    """
+    if set(a) != set(b):
+        raise ConfigurationError("maps cover different node sets")
+    nodes = sorted(a)
+    n = len(nodes)
+    if n < 2:
+        return 1.0
+    concordant = 0
+    discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            u, v = nodes[i], nodes[j]
+            da = a[u] - a[v]
+            db = b[u] - b[v]
+            product = da * db
+            if product > 0:
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    total = n * (n - 1) // 2
+    return (concordant - discordant) / total

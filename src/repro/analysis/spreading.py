@@ -1,0 +1,89 @@
+"""SIR spreading simulation — the paper's motivating application.
+
+The introduction motivates run-time k-core decomposition with Kitsak et
+al. [8]: "cores with larger k are known to be good spreaders", so a
+live P2P/social system can seed epidemic dissemination from high-core
+nodes. This module provides a standard discrete-time SIR process and a
+helper comparing seed-selection strategies (coreness vs degree vs
+random), used by ``examples/gossip_spreaders.py`` and tested for the
+qualitative claim on synthetic social graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.graph.graph import Graph
+from repro.utils.rng import make_rng
+
+__all__ = ["sir_spread", "spreading_power"]
+
+
+def sir_spread(
+    graph: Graph,
+    seeds: Iterable[int],
+    infect_prob: float = 0.1,
+    recover_prob: float = 1.0,
+    max_steps: int = 10_000,
+    seed: int | random.Random | None = 0,
+) -> int:
+    """Run one SIR epidemic; return the final number of recovered nodes.
+
+    Discrete time: each step, every infectious node infects each
+    susceptible neighbour independently with ``infect_prob``, then
+    recovers with ``recover_prob`` (the Kitsak setup uses immediate
+    recovery, ``recover_prob=1``).
+    """
+    rng = make_rng(seed)
+    infected = {u for u in seeds if graph.has_node(u)}
+    recovered: set[int] = set()
+    steps = 0
+    while infected and steps < max_steps:
+        steps += 1
+        newly: set[int] = set()
+        for u in infected:
+            for v in graph.neighbors(u):
+                if (
+                    v not in infected
+                    and v not in recovered
+                    and v not in newly
+                    and rng.random() < infect_prob
+                ):
+                    newly.add(v)
+        still_infected: set[int] = set()
+        for u in infected:
+            if rng.random() < recover_prob:
+                recovered.add(u)
+            else:
+                still_infected.add(u)
+        infected = still_infected | newly
+    recovered |= infected  # anything left at the cap counts as reached
+    return len(recovered)
+
+
+def spreading_power(
+    graph: Graph,
+    seed_sets: dict[str, list[int]],
+    infect_prob: float = 0.1,
+    trials: int = 20,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Mean SIR outbreak size for each named seed set.
+
+    Typical usage compares ``{"coreness": top-core seeds, "degree":
+    top-degree seeds, "random": random seeds}`` — the paper's premise is
+    that the coreness choice wins or ties degree, and both beat random.
+    """
+    results: dict[str, float] = {}
+    for name, seeds in seed_sets.items():
+        total = 0
+        for trial in range(trials):
+            total += sir_spread(
+                graph,
+                seeds,
+                infect_prob=infect_prob,
+                seed=seed * 100_003 + trial,
+            )
+        results[name] = total / trials
+    return results

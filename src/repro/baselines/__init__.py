@@ -1,0 +1,18 @@
+"""Sequential (centralized) k-core baselines.
+
+The paper cites Batagelj–Zaveršnik [3] as the standard centralized
+O(m) algorithm; it is implemented here from scratch, together with the
+textbook iterative-peeling definition of the decomposition and an
+adapter around ``networkx.core_number`` for cross-validation in tests.
+"""
+
+from repro.baselines.batagelj_zaversnik import batagelj_zaversnik
+from repro.baselines.peeling import peeling_coreness, k_core_subgraph
+from repro.baselines.networkx_adapter import networkx_coreness
+
+__all__ = [
+    "batagelj_zaversnik",
+    "peeling_coreness",
+    "k_core_subgraph",
+    "networkx_coreness",
+]

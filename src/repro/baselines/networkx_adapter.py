@@ -1,0 +1,41 @@
+"""Adapter around ``networkx.core_number`` for cross-validation.
+
+networkx is a test-time dependency only; the library itself never
+imports it. The adapter exists so that the property-based tests can
+triangulate three independent implementations (networkx, our
+Batagelj–Zaveršnik, our peeling) against the distributed protocols.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+
+__all__ = ["networkx_coreness", "to_networkx", "from_networkx"]
+
+
+def to_networkx(graph: Graph):
+    """Convert to a ``networkx.Graph`` (imported lazily)."""
+    import networkx as nx
+
+    out = nx.Graph()
+    out.add_nodes_from(graph.nodes())
+    out.add_edges_from(graph.edges())
+    return out
+
+
+def from_networkx(nx_graph, name: str = "") -> Graph:
+    """Convert a ``networkx`` graph (self-loops dropped)."""
+    graph = Graph(name=name)
+    for node in nx_graph.nodes():
+        graph.add_node(int(node))
+    for u, v in nx_graph.edges():
+        if u != v:
+            graph.add_edge(int(u), int(v), strict=False)
+    return graph
+
+
+def networkx_coreness(graph: Graph) -> dict[int, int]:
+    """``{node: coreness}`` computed by networkx (oracle for tests)."""
+    import networkx as nx
+
+    return {int(u): int(c) for u, c in nx.core_number(to_networkx(graph)).items()}

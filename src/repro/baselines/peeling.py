@@ -1,0 +1,52 @@
+"""Naive iterative peeling — the definition of k-cores made executable.
+
+"A k-core is obtained by recursively removing all nodes of degree
+smaller than k, until the degree of all remaining vertices is larger
+than or equal to k" (Section 1). Peeling at increasing k yields the
+decomposition directly. O(k_max * m) worst case — slower than
+Batagelj–Zaveršnik, but an independent implementation of the
+*definition*, which makes it a valuable cross-check: two different
+algorithms agreeing on random graphs is strong evidence both are right.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graph.graph import Graph
+
+__all__ = ["peeling_coreness", "k_core_subgraph"]
+
+
+def k_core_subgraph(graph: Graph, k: int) -> Graph:
+    """The k-core of ``graph`` (possibly empty), by recursive removal."""
+    alive = {u: graph.degree(u) for u in graph.nodes()}
+    queue = deque(u for u, d in alive.items() if d < k)
+    while queue:
+        u = queue.popleft()
+        if u not in alive:
+            continue
+        for v in graph.neighbors(u):
+            if v in alive:
+                alive[v] -= 1
+                if alive[v] < k:
+                    queue.append(v)
+        del alive[u]
+    return graph.subgraph(alive.keys())
+
+
+def peeling_coreness(graph: Graph) -> dict[int, int]:
+    """Coreness of every node by peeling at k = 1, 2, ... until empty.
+
+    A node's coreness is the largest k whose k-core still contains it
+    (Definition 2).
+    """
+    coreness = {u: 0 for u in graph.nodes()}
+    current = graph
+    k = 1
+    while current.num_nodes > 0:
+        current = k_core_subgraph(current, k)
+        for u in current.nodes():
+            coreness[u] = k
+        k += 1
+    return coreness

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro`` / ``repro-kcore``.
+
+Subcommands:
+
+* ``decompose`` — compute the coreness of an edge-list file (or a named
+  synthetic dataset) with any of the implemented algorithms.
+* ``stats`` — print the Table-1-style structural summary of a graph.
+* ``table1`` — regenerate the paper's Table 1 over the dataset registry.
+* ``datasets`` — list the registered dataset stand-ins.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.api import ALGORITHMS, decompose
+from repro.graph.io import read_edge_list
+from repro.graph.stats import compute_stats
+from repro.utils.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-kcore",
+        description="Distributed k-core decomposition (PODC 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dec = sub.add_parser("decompose", help="compute coreness of a graph")
+    source = dec.add_mutually_exclusive_group(required=True)
+    source.add_argument("--edges", help="path to a SNAP-style edge list")
+    source.add_argument("--dataset", help="name of a registered dataset")
+    dec.add_argument(
+        "--algorithm", default="one-to-one", choices=sorted(ALGORITHMS)
+    )
+    dec.add_argument("--hosts", type=int, default=4,
+                     help="host count (one-to-many only)")
+    dec.add_argument("--seed", type=int, default=0)
+    dec.add_argument("--scale", type=float, default=1.0,
+                     help="dataset scale factor (synthetic datasets only)")
+    dec.add_argument("--top", type=int, default=10,
+                     help="print the TOP nodes by coreness")
+
+    stats = sub.add_parser("stats", help="structural summary of a graph")
+    stats_source = stats.add_mutually_exclusive_group(required=True)
+    stats_source.add_argument("--edges")
+    stats_source.add_argument("--dataset")
+    stats.add_argument("--scale", type=float, default=1.0)
+    stats.add_argument("--seed", type=int, default=0)
+
+    table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    table1.add_argument("--scale", type=float, default=1.0)
+    table1.add_argument("--repetitions", type=int, default=5)
+    table1.add_argument("--seed", type=int, default=0)
+    table1.add_argument(
+        "--only", nargs="*", default=None, help="subset of dataset names"
+    )
+
+    sub.add_parser("datasets", help="list registered datasets")
+
+    fingerprint = sub.add_parser(
+        "fingerprint", help="ASCII k-core fingerprint (LaNet-vi style)"
+    )
+    fp_source = fingerprint.add_mutually_exclusive_group(required=True)
+    fp_source.add_argument("--edges")
+    fp_source.add_argument("--dataset")
+    fingerprint.add_argument("--scale", type=float, default=0.3)
+    fingerprint.add_argument("--seed", type=int, default=0)
+    fingerprint.add_argument("--width", type=int, default=72)
+    fingerprint.add_argument("--height", type=int, default=30)
+    return parser
+
+
+def _load_graph(args: argparse.Namespace):
+    from repro.datasets import load
+
+    if getattr(args, "edges", None):
+        return read_edge_list(args.edges)
+    return load(args.dataset, scale=args.scale, seed=args.seed if hasattr(args, "seed") else 0)
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    options: dict[str, object] = {}
+    if args.algorithm == "one-to-one":
+        options["seed"] = args.seed
+    elif args.algorithm == "one-to-many":
+        options.update(seed=args.seed, num_hosts=args.hosts)
+    elif args.algorithm == "pregel":
+        options["num_workers"] = args.hosts
+    result = decompose(graph, args.algorithm, **options)
+    print(
+        f"graph: {graph.name or 'stdin'}  nodes={graph.num_nodes} "
+        f"edges={graph.num_edges}"
+    )
+    print(
+        f"algorithm: {result.algorithm}  k_max={result.max_coreness}  "
+        f"k_avg={result.average_coreness:.2f}"
+    )
+    if result.stats.rounds_executed:
+        print(
+            f"rounds={result.stats.execution_time}  "
+            f"messages={result.stats.total_messages}"
+        )
+    rows = [
+        (node, result.coreness[node])
+        for node in result.top_spreaders(args.top)
+    ]
+    print(format_table(("node", "coreness"), rows, title="top nodes"))
+    shells = result.shell_sizes()
+    print(format_table(
+        ("k", "shell size"), sorted(shells.items()), title="shell sizes"
+    ))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.baselines.batagelj_zaversnik import batagelj_zaversnik
+
+    graph = _load_graph(args)
+    summary = compute_stats(graph, coreness=batagelj_zaversnik(graph))
+    rows = [
+        ("nodes", summary.num_nodes),
+        ("edges", summary.num_edges),
+        ("min degree", summary.min_degree),
+        ("max degree", summary.max_degree),
+        ("avg degree", round(summary.avg_degree, 2)),
+        ("components", summary.num_components),
+        ("largest component", summary.largest_component_size),
+        ("diameter" + ("" if summary.diameter_is_exact else " (lower bound)"),
+         summary.diameter),
+        ("k_max", summary.coreness_max),
+        ("k_avg", round(summary.coreness_avg or 0.0, 2)),
+    ]
+    print(format_table(("statistic", "value"), rows,
+                       title=f"stats: {graph.name or 'graph'}"))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.analysis.reports import Table1Row, table1_row
+    from repro.datasets import PAPER_DATASETS
+
+    rows = []
+    for spec in PAPER_DATASETS:
+        if args.only and spec.name not in args.only:
+            continue
+        graph = spec.build(scale=args.scale, seed=args.seed)
+        row = table1_row(
+            graph, repetitions=args.repetitions, seed=args.seed
+        )
+        rows.append(row.as_list())
+        print(f"... {spec.name} done", file=sys.stderr)
+    print(format_table(Table1Row.HEADERS, rows, title="Table 1 (reproduced)"))
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    from repro.datasets import PAPER_DATASETS
+
+    rows = [
+        (
+            spec.name,
+            spec.paper_name,
+            int(spec.paper["num_nodes"]),
+            int(spec.paper["kmax"]),
+            spec.paper["tavg"],
+        )
+        for spec in PAPER_DATASETS
+    ]
+    print(format_table(
+        ("name", "paper dataset", "paper |V|", "paper kmax", "paper tavg"),
+        rows,
+        title="registered datasets (synthetic stand-ins)",
+    ))
+    return 0
+
+
+def _cmd_fingerprint(args: argparse.Namespace) -> int:
+    from repro.analysis.fingerprint import core_fingerprint, render_fingerprint
+    from repro.baselines.batagelj_zaversnik import batagelj_zaversnik
+
+    graph = _load_graph(args)
+    coreness = batagelj_zaversnik(graph)
+    layout = core_fingerprint(graph, coreness, seed=args.seed)
+    print(
+        f"{graph.name or 'graph'}: {graph.num_nodes} nodes, "
+        f"k_max={layout.max_coreness}"
+    )
+    print(render_fingerprint(layout, coreness,
+                             width=args.width, height=args.height))
+    return 0
+
+
+_COMMANDS = {
+    "decompose": _cmd_decompose,
+    "stats": _cmd_stats,
+    "table1": _cmd_table1,
+    "datasets": _cmd_datasets,
+    "fingerprint": _cmd_fingerprint,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""One-call convenience entry points.
+
+Most users want "give me the coreness of this graph, computed the way
+the paper computes it". :func:`decompose` dispatches to any of the
+implemented algorithms; :func:`coreness` returns just the map.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.batagelj_zaversnik import batagelj_zaversnik
+from repro.baselines.peeling import peeling_coreness
+from repro.core.one_to_many import OneToManyConfig, run_one_to_many
+from repro.core.one_to_one import OneToOneConfig, run_one_to_one
+from repro.core.result import DecompositionResult, wrap_coreness
+from repro.errors import ConfigurationError
+from repro.graph.graph import Graph
+
+__all__ = ["decompose", "coreness", "ALGORITHMS"]
+
+#: Algorithms accepted by :func:`decompose`.
+ALGORITHMS = (
+    "one-to-one",
+    "one-to-many",
+    "bz",
+    "peeling",
+    "pregel",
+)
+
+
+def decompose(
+    graph: Graph,
+    algorithm: str = "one-to-one",
+    **options: object,
+) -> DecompositionResult:
+    """Compute the k-core decomposition of ``graph``.
+
+    ``algorithm`` selects the engine:
+
+    * ``"one-to-one"`` — the distributed node protocol (Algorithm 1);
+      options are :class:`~repro.core.one_to_one.OneToOneConfig` fields.
+    * ``"one-to-many"`` — the distributed host protocol (Algorithms
+      3-5); options are :class:`~repro.core.one_to_many.OneToManyConfig`
+      fields.
+    * ``"bz"`` — sequential Batagelj–Zaveršnik (reference [3]).
+    * ``"peeling"`` — sequential peeling by definition.
+    * ``"pregel"`` — the BSP/Pregel port (the paper's Conclusions).
+
+    >>> from repro.graph.generators import figure2_example
+    >>> decompose(figure2_example(), "bz").coreness[0]
+    1
+    """
+    if algorithm == "one-to-one":
+        return run_one_to_one(graph, OneToOneConfig(**options))  # type: ignore[arg-type]
+    if algorithm == "one-to-many":
+        return run_one_to_many(graph, OneToManyConfig(**options))  # type: ignore[arg-type]
+    if algorithm == "bz":
+        return wrap_coreness(batagelj_zaversnik(graph), "batagelj-zaversnik")
+    if algorithm == "peeling":
+        return wrap_coreness(peeling_coreness(graph), "peeling")
+    if algorithm == "pregel":
+        from repro.pregel.kcore import run_pregel_kcore
+
+        return run_pregel_kcore(graph, **options)  # type: ignore[arg-type]
+    raise ConfigurationError(
+        f"unknown algorithm {algorithm!r}; options: {list(ALGORITHMS)}"
+    )
+
+
+def coreness(graph: Graph, algorithm: str = "bz") -> dict[int, int]:
+    """Just the ``{node: coreness}`` map (default: fast sequential)."""
+    return decompose(graph, algorithm).coreness

@@ -1,0 +1,141 @@
+"""Node→host assignment policies (Section 3.2.2).
+
+The paper uses the simplest possible policy — ``host(u) = u mod |H|`` —
+and notes that good general heuristics are hard. Besides the paper's
+modulo policy this module offers three more, used by the assignment
+ablation benchmark:
+
+* ``block`` — contiguous id ranges (good when ids encode locality, as
+  in road networks or web crawls ordered by URL);
+* ``random`` — a seeded random balanced assignment (a lower bound on
+  locality);
+* ``bfs`` — chunked BFS visit order, a cheap locality heuristic that
+  keeps graph neighbourhoods together without a full partitioner.
+
+All policies produce an :class:`Assignment`; the one-to-many runner and
+the Pregel worker placement consume it.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.graph.graph import Graph
+from repro.utils.rng import make_rng
+
+__all__ = ["Assignment", "assign", "ASSIGNMENT_POLICIES"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A complete node→host map.
+
+    ``host_of[u]`` is the paper's ``h(u)``; ``owned[x]`` is ``V(x)``.
+    Hosts are numbered ``0..num_hosts-1``; a host may own no nodes.
+    """
+
+    host_of: dict[int, int]
+    num_hosts: int
+    policy: str = ""
+    owned: dict[int, list[int]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        owned: dict[int, list[int]] = {x: [] for x in range(self.num_hosts)}
+        for node, host in self.host_of.items():
+            if not 0 <= host < self.num_hosts:
+                raise ConfigurationError(
+                    f"node {node} assigned to invalid host {host}"
+                )
+            owned[host].append(node)
+        for nodes in owned.values():
+            nodes.sort()
+        object.__setattr__(self, "owned", owned)
+
+    def load_imbalance(self) -> float:
+        """Max/mean owned-node ratio (1.0 == perfectly balanced)."""
+        sizes = [len(v) for v in self.owned.values()]
+        mean = sum(sizes) / len(sizes) if sizes else 0.0
+        return (max(sizes) / mean) if mean else 0.0
+
+    def cut_edges(self, graph: Graph) -> int:
+        """Number of edges whose endpoints live on different hosts."""
+        return sum(
+            1
+            for u, v in graph.edges()
+            if self.host_of[u] != self.host_of[v]
+        )
+
+
+def _modulo(graph: Graph, num_hosts: int, rng: random.Random) -> dict[int, int]:
+    return {u: u % num_hosts for u in graph.nodes()}
+
+
+def _block(graph: Graph, num_hosts: int, rng: random.Random) -> dict[int, int]:
+    nodes = sorted(graph.nodes())
+    size = max(1, -(-len(nodes) // num_hosts))  # ceil division
+    return {u: min(i // size, num_hosts - 1) for i, u in enumerate(nodes)}
+
+
+def _random(graph: Graph, num_hosts: int, rng: random.Random) -> dict[int, int]:
+    nodes = list(graph.nodes())
+    rng.shuffle(nodes)
+    return {u: i % num_hosts for i, u in enumerate(nodes)}
+
+
+def _bfs(graph: Graph, num_hosts: int, rng: random.Random) -> dict[int, int]:
+    """Chunked-BFS locality policy: visit order, split into equal chunks."""
+    order: list[int] = []
+    seen: set[int] = set()
+    nodes = sorted(graph.nodes())
+    for start in nodes:
+        if start in seen:
+            continue
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            for v in sorted(graph.neighbors(u)):
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+    size = max(1, -(-len(order) // num_hosts))
+    return {u: min(i // size, num_hosts - 1) for i, u in enumerate(order)}
+
+
+ASSIGNMENT_POLICIES: dict[
+    str, Callable[[Graph, int, random.Random], dict[int, int]]
+] = {
+    "modulo": _modulo,
+    "block": _block,
+    "random": _random,
+    "bfs": _bfs,
+}
+
+
+def assign(
+    graph: Graph,
+    num_hosts: int,
+    policy: str = "modulo",
+    seed: int | random.Random | None = 0,
+) -> Assignment:
+    """Assign every node of ``graph`` to one of ``num_hosts`` hosts.
+
+    ``policy`` is one of :data:`ASSIGNMENT_POLICIES`. The paper's
+    default is ``"modulo"``.
+    """
+    if num_hosts < 1:
+        raise ConfigurationError("num_hosts must be >= 1")
+    try:
+        builder = ASSIGNMENT_POLICIES[policy]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown assignment policy {policy!r}; "
+            f"options: {sorted(ASSIGNMENT_POLICIES)}"
+        ) from None
+    host_of = builder(graph, num_hosts, make_rng(seed))
+    return Assignment(host_of=host_of, num_hosts=num_hosts, policy=policy)

@@ -1,0 +1,124 @@
+"""Algorithm 2 (``computeIndex``) and Algorithm 4 (``improveEstimate``).
+
+``computeIndex`` is the computational heart of the paper: given the
+current estimates of a node's neighbours and an upper bound ``k`` (the
+node's own current estimate), it returns the largest ``i <= k`` such
+that at least ``i`` neighbours have estimate ``>= i``. By the locality
+theorem (Theorem 1) the fixpoint of this operator over all nodes is
+exactly the coreness.
+
+``improveEstimate`` is the host-local cascade of the one-to-many
+algorithm: re-run ``computeIndex`` over the host's own nodes until no
+local estimate changes, so that only settled values cross the network.
+Two implementations are provided — the paper-faithful full-sweep loop
+and a worklist version that only revisits nodes whose neighbourhood
+changed. They compute the same fixpoint (asserted by tests); the
+worklist one is the default used by the runners.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping
+
+__all__ = [
+    "compute_index",
+    "improve_estimate_naive",
+    "improve_estimate_worklist",
+]
+
+
+def compute_index(
+    estimates: Iterable[int], k: int
+) -> int:
+    """Largest ``i <= k`` with at least ``i`` estimates ``>= i``.
+
+    Transcribes Algorithm 2: bucket-count the neighbour estimates
+    (values above ``k`` are clamped to ``k`` — they cannot help beyond
+    ``k``), suffix-sum the buckets so ``count[i]`` holds "how many
+    neighbours have estimate >= i", then scan downward for the largest
+    ``i`` with ``count[i] >= i``.
+
+    ``estimates`` are the neighbour estimates of node ``u`` (the paper's
+    ``est[v]`` for ``v in neighborV(u)``); ``k`` is ``u``'s current
+    estimate, which by safety (Theorem 2) upper-bounds the answer.
+
+    >>> compute_index([2, 2, 3], 3)   # two neighbours at >= 2
+    2
+    >>> compute_index([1, 1, 1], 3)
+    1
+    """
+    if k <= 0:
+        return 0
+    count = [0] * (k + 1)
+    for est in estimates:
+        j = k if est > k else est
+        if j > 0:
+            count[j] += 1
+    for i in range(k, 1, -1):
+        count[i - 1] += count[i]
+    i = k
+    while i > 1 and count[i] < i:
+        i -= 1
+    return i
+
+
+def improve_estimate_naive(
+    est: dict[int, int],
+    owned: Iterable[int],
+    neighbors: Mapping[int, Iterable[int]],
+    changed: set[int],
+) -> None:
+    """Algorithm 4 verbatim: sweep all owned nodes until a full pass
+    makes no change.
+
+    ``est`` maps every owned node *and* every neighbour of an owned node
+    to its current estimate; entries for owned nodes are updated in
+    place. Nodes whose estimate drops are added to ``changed``.
+    """
+    owned = list(owned)
+    again = True
+    while again:
+        again = False
+        for u in owned:
+            nbrs = neighbors[u]
+            # an isolated node has coreness 0; computeIndex's downward
+            # scan bottoms out at 1, which is only correct for degree>=1
+            k = compute_index((est[v] for v in nbrs), est[u]) if nbrs else 0
+            if k < est[u]:
+                est[u] = k
+                changed.add(u)
+                again = True
+
+
+def improve_estimate_worklist(
+    est: dict[int, int],
+    owned: Iterable[int],
+    neighbors: Mapping[int, Iterable[int]],
+    changed: set[int],
+    dirty: Iterable[int] | None = None,
+) -> None:
+    """Worklist variant of Algorithm 4 (same fixpoint, less recompute).
+
+    Only nodes whose neighbourhood estimates changed are re-evaluated: a
+    drop at ``u`` re-enqueues exactly ``u``'s owned neighbours. ``dirty``
+    optionally restricts the initial frontier (e.g. the owned neighbours
+    of nodes mentioned in a received update); by default all owned nodes
+    are evaluated once.
+    """
+    owned_set = set(owned)
+    queue: deque[int] = deque(dirty if dirty is not None else owned_set)
+    queued = set(queue)
+    while queue:
+        u = queue.popleft()
+        queued.discard(u)
+        nbrs = neighbors[u]
+        # isolated nodes: coreness 0 (see the note in the naive variant)
+        k = compute_index((est[v] for v in nbrs), est[u]) if nbrs else 0
+        if k < est[u]:
+            est[u] = k
+            changed.add(u)
+            for w in neighbors[u]:
+                if w in owned_set and w not in queued:
+                    queue.append(w)
+                    queued.add(w)

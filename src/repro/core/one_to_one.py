@@ -1,0 +1,199 @@
+"""Algorithm 1 — the one-host-one-node protocol (Section 3.1).
+
+Every node keeps ``core`` (its own estimate, initialised to its degree)
+and ``est[v]`` (last estimate heard from each neighbour, initially +∞).
+On arrival of a smaller estimate the node lowers ``est[v]``, re-runs
+``computeIndex`` and, if its own estimate dropped, schedules a broadcast
+for the next periodic activation. Estimates never increase (safety,
+Theorem 2) and eventually reach the coreness exactly (liveness,
+Theorem 3).
+
+Two implementation notes:
+
+* **Batched recomputation.** The paper runs ``computeIndex`` on every
+  message; this implementation drains the mailbox first and recomputes
+  once per activation. Because ``est`` entries only decrease and
+  ``computeIndex`` is monotone in them, the post-batch value equals the
+  minimum of the per-message values — the externally visible state is
+  identical, at a fraction of the cost on high-degree nodes.
+* **Send filter (Section 3.1.2).** With ``optimize_sends`` a node sends
+  its new estimate to neighbour ``v`` only when ``core < est[v]`` —
+  i.e. only when the value can possibly lower ``v``'s ``computeIndex``
+  result (values at or above ``v``'s own estimate are clamped anyway).
+  The paper reports ≈50% message savings; ``benchmarks/
+  bench_opt_message_filter.py`` reproduces that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.compute_index import compute_index
+from repro.core.result import DecompositionResult
+from repro.errors import ConfigurationError
+from repro.graph.graph import Graph
+from repro.sim.async_engine import AsyncEngine
+from repro.sim.engine import Observer, RoundEngine
+from repro.sim.node import Context, Message, Process
+
+__all__ = ["KCoreNode", "OneToOneConfig", "run_one_to_one", "build_node_processes"]
+
+#: Sentinel for "no estimate received yet" (the paper's +∞).
+INFINITY = float("inf")
+
+
+class KCoreNode(Process):
+    """One protocol participant: graph node == host.
+
+    Public state inspected by observers and result extraction:
+
+    * :attr:`core` — current coreness estimate (== coreness at the end);
+    * :attr:`est` — neighbour estimates (missing key ≡ +∞);
+    * :attr:`changed` — whether a broadcast is pending.
+    """
+
+    __slots__ = ("neighbors", "core", "est", "changed", "optimize_sends")
+
+    def __init__(
+        self,
+        pid: int,
+        neighbors: Sequence[int],
+        optimize_sends: bool = True,
+    ) -> None:
+        super().__init__(pid)
+        self.neighbors: tuple[int, ...] = tuple(neighbors)
+        self.core: int = len(self.neighbors)
+        self.est: dict[int, int] = {}
+        self.changed = False
+        self.optimize_sends = optimize_sends
+
+    # ------------------------------------------------------------------
+    def on_init(self, ctx: Context) -> None:
+        """Broadcast ⟨u, d(u)⟩ to all neighbours."""
+        self.core = len(self.neighbors)
+        self.est.clear()
+        self.changed = False
+        for v in self.neighbors:
+            ctx.send(v, self.core)
+
+    def on_messages(self, ctx: Context, messages: Sequence[Message]) -> None:
+        """Fold received estimates into ``est``; recompute own estimate."""
+        updated = False
+        for sender, payload in messages:
+            k = payload  # type: ignore[assignment]
+            if k < self.est.get(sender, INFINITY):
+                self.est[sender] = k  # type: ignore[assignment]
+                updated = True
+        if not updated:
+            return
+        t = compute_index(
+            (self.est.get(v, self.core + 1) for v in self.neighbors),
+            self.core,
+        )
+        if t < self.core:
+            self.core = t
+            self.changed = True
+
+    def on_round(self, ctx: Context) -> None:
+        """Periodic block: broadcast the new estimate when it changed."""
+        if not self.changed:
+            return
+        for v in self.neighbors:
+            if self.optimize_sends and self.core >= self.est.get(v, INFINITY):
+                continue
+            ctx.send(v, self.core)
+        self.changed = False
+
+    def is_quiescent(self) -> bool:
+        return not self.changed
+
+
+@dataclass
+class OneToOneConfig:
+    """Configuration for :func:`run_one_to_one`.
+
+    Attributes
+    ----------
+    mode:
+        ``"peersim"`` (randomized activation, Section 5 experiments) or
+        ``"lockstep"`` (synchronous rounds, Section 4 analysis).
+    optimize_sends:
+        Enable the Section 3.1.2 message filter.
+    engine:
+        ``"round"`` or ``"async"`` (event-driven, arbitrary latencies).
+    max_rounds:
+        Convergence guard; runs that exceed it raise unless ``strict``
+        is off, in which case a partial (approximate) result returns.
+    fixed_rounds:
+        If set, stop after exactly this many rounds and return the
+        (possibly approximate) estimates — the "fixed number of rounds"
+        termination mode of Section 3.3.
+    """
+
+    mode: str = "peersim"
+    optimize_sends: bool = True
+    engine: str = "round"
+    seed: int | None = 0
+    max_rounds: int = 1_000_000
+    strict: bool = True
+    fixed_rounds: int | None = None
+    observers: Sequence[Observer] = field(default_factory=tuple)
+    latency: Callable[[random.Random], float] | None = None
+    async_max_time: float = 1e6
+
+
+def build_node_processes(
+    graph: Graph, optimize_sends: bool = True
+) -> dict[int, KCoreNode]:
+    """Instantiate one :class:`KCoreNode` per graph node."""
+    return {
+        u: KCoreNode(u, sorted(graph.neighbors(u)), optimize_sends)
+        for u in graph.nodes()
+    }
+
+
+def run_one_to_one(
+    graph: Graph, config: OneToOneConfig | None = None
+) -> DecompositionResult:
+    """Run Algorithm 1 over ``graph`` and return the decomposition.
+
+    >>> from repro.graph.generators import clique_graph
+    >>> run_one_to_one(clique_graph(4)).coreness
+    {0: 3, 1: 3, 2: 3, 3: 3}
+    """
+    config = config or OneToOneConfig()
+    processes = build_node_processes(graph, config.optimize_sends)
+
+    if config.engine == "async":
+        async_engine = AsyncEngine(
+            processes,
+            latency=config.latency,
+            seed=config.seed,
+            max_time=config.async_max_time,
+            strict=config.strict,
+        )
+        stats = async_engine.run()
+        label = "one-to-one/async"
+    elif config.engine == "round":
+        max_rounds = config.max_rounds
+        strict = config.strict
+        if config.fixed_rounds is not None:
+            max_rounds = config.fixed_rounds
+            strict = False
+        round_engine = RoundEngine(
+            processes,
+            mode=config.mode,
+            seed=config.seed,
+            max_rounds=max_rounds,
+            strict=strict,
+            observers=config.observers,
+        )
+        stats = round_engine.run()
+        label = f"one-to-one/{config.mode}"
+    else:
+        raise ConfigurationError(f"unknown engine {config.engine!r}")
+
+    coreness = {pid: proc.core for pid, proc in processes.items()}
+    return DecompositionResult(coreness=coreness, stats=stats, algorithm=label)

@@ -1,0 +1,108 @@
+"""Decomposition results.
+
+All runners (one-to-one, one-to-many, Pregel, baselines via
+:func:`wrap_coreness`) produce a :class:`DecompositionResult`: the
+coreness map plus the k-core/k-shell views defined by the paper's
+Definitions 1-2, plus run statistics when the values came from a
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.sim.metrics import SimulationStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.graph import Graph
+
+__all__ = ["DecompositionResult", "wrap_coreness"]
+
+
+@dataclass
+class DecompositionResult:
+    """Outcome of a k-core decomposition.
+
+    Attributes
+    ----------
+    coreness:
+        ``{node: coreness}`` — Definition 2's value for every node.
+    stats:
+        Simulation statistics (rounds, messages); trivial for
+        sequential baselines.
+    algorithm:
+        Human-readable tag of the producing algorithm.
+    """
+
+    coreness: dict[int, int]
+    stats: SimulationStats = field(default_factory=SimulationStats)
+    algorithm: str = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def max_coreness(self) -> int:
+        """The paper's k_max (0 for an empty graph)."""
+        return max(self.coreness.values(), default=0)
+
+    @property
+    def average_coreness(self) -> float:
+        """The paper's k_avg."""
+        if not self.coreness:
+            return 0.0
+        return sum(self.coreness.values()) / len(self.coreness)
+
+    def core(self, k: int) -> set[int]:
+        """Nodes of the k-core: every node with coreness >= k.
+
+        Cores are concentric (the paper's Figure 1): ``core(k+1)`` is
+        always a subset of ``core(k)``.
+        """
+        return {u for u, c in self.coreness.items() if c >= k}
+
+    def shell(self, k: int) -> set[int]:
+        """The k-shell: nodes whose coreness is exactly k."""
+        return {u for u, c in self.coreness.items() if c == k}
+
+    def shell_sizes(self) -> dict[int, int]:
+        """``{k: |k-shell|}`` for the non-empty shells, ascending k."""
+        sizes: dict[int, int] = {}
+        for c in self.coreness.values():
+            sizes[c] = sizes.get(c, 0) + 1
+        return dict(sorted(sizes.items()))
+
+    def core_subgraph(self, graph: "Graph", k: int) -> "Graph":
+        """Induced subgraph of the k-core (Definition 1's ``G(C)``)."""
+        return graph.subgraph(self.core(k))
+
+    def top_spreaders(self, count: int) -> list[int]:
+        """Nodes of highest coreness (ties broken by id).
+
+        The intro's motivating application: nodes in high cores are the
+        good spreaders of Kitsak et al. [8].
+        """
+        ranked = sorted(
+            self.coreness, key=lambda u: (-self.coreness[u], u)
+        )
+        return ranked[:count]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DecompositionResult):
+            return self.coreness == other.coreness
+        if isinstance(other, dict):
+            return self.coreness == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"<DecompositionResult {self.algorithm or 'unknown'} "
+            f"nodes={len(self.coreness)} kmax={self.max_coreness} "
+            f"rounds={self.stats.execution_time}>"
+        )
+
+
+def wrap_coreness(
+    coreness: dict[int, int], algorithm: str
+) -> DecompositionResult:
+    """Wrap a plain coreness map (from a sequential baseline)."""
+    return DecompositionResult(coreness=dict(coreness), algorithm=algorithm)

@@ -1,0 +1,129 @@
+"""The paper's theoretical results, made executable.
+
+* :func:`theorem4_bound` — execution time ≤ 1 + Σ_u (d(u) − k(u)).
+* :func:`theorem5_bound` — execution time ≤ N.
+* :func:`corollary1_bound` — execution time ≤ N − K + 1, K = #nodes of
+  minimal degree.
+* :func:`corollary2_message_bound` — messages ≤ Σ_u d(u)² − 2M (and so
+  O(Δ·M)).
+* :func:`check_locality` — verifies both conditions of the locality
+  theorem (Theorem 1) for a claimed coreness assignment.
+* :func:`is_k_core` / :func:`verify_decomposition` — Definition 1/2
+  checkers used across the test suite.
+
+``benchmarks/bench_bounds.py`` reports measured rounds/messages against
+these bounds; the property tests assert the bounds are never violated.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "theorem4_bound",
+    "theorem5_bound",
+    "corollary1_bound",
+    "corollary2_message_bound",
+    "total_message_bound",
+    "check_locality",
+    "is_k_core",
+    "verify_decomposition",
+]
+
+
+def theorem4_bound(graph: Graph, coreness: dict[int, int]) -> int:
+    """Theorem 4: 1 + the total initial error Σ (d(u) − k(u))."""
+    return 1 + sum(graph.degree(u) - coreness[u] for u in graph.nodes())
+
+
+def theorem5_bound(graph: Graph) -> int:
+    """Theorem 5: the execution time is not larger than N."""
+    return graph.num_nodes
+
+
+def corollary1_bound(graph: Graph) -> int:
+    """Corollary 1: N − K + 1, with K the number of minimal-degree nodes.
+
+    (For the empty graph the bound degenerates to 0.)
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return 0
+    delta = graph.min_degree()
+    k = sum(1 for u in graph.nodes() if graph.degree(u) == delta)
+    return n - k + 1
+
+
+def corollary2_message_bound(graph: Graph) -> int:
+    """Corollary 2: Σ_u d(u)² − 2M *update* messages.
+
+    The bound counts estimate updates: node ``v`` sends at most
+    ``d(v) − k(v) ≤ d(v) − 1`` updates to each neighbour after its
+    initial degree broadcast. The initial broadcast itself adds exactly
+    ``2M`` messages on top — see :func:`total_message_bound`.
+    """
+    return sum(graph.degree(u) ** 2 for u in graph.nodes()) - 2 * graph.num_edges
+
+
+def total_message_bound(graph: Graph) -> int:
+    """Corollary 2 plus the 2M initial broadcasts: Σ_u d(u)² total."""
+    return sum(graph.degree(u) ** 2 for u in graph.nodes())
+
+
+def check_locality(graph: Graph, coreness: dict[int, int]) -> bool:
+    """Check Theorem 1 at every node for a claimed coreness assignment.
+
+    Node ``u`` has coreness ``k`` iff (i) at least ``k`` neighbours have
+    coreness ≥ k and (ii) fewer than ``k+1`` neighbours have coreness
+    ≥ k+1. Returns True when both hold everywhere. A correct coreness
+    map always passes; maps that differ from the coreness in *any*
+    single node generally fail at or near it — this is the fixpoint
+    characterisation that justifies the whole distributed scheme.
+    """
+    for u in graph.nodes():
+        k = coreness[u]
+        at_least_k = 0
+        at_least_k1 = 0
+        for v in graph.neighbors(u):
+            if coreness[v] >= k:
+                at_least_k += 1
+            if coreness[v] >= k + 1:
+                at_least_k1 += 1
+        if k > 0 and at_least_k < k:
+            return False
+        if at_least_k1 >= k + 1:
+            return False
+    return True
+
+
+def is_k_core(graph: Graph, nodes: set[int], k: int) -> bool:
+    """Definition 1 check: is ``G(nodes)`` a k-core of ``graph``?
+
+    Requires (a) minimum induced degree ≥ k and (b) maximality — no
+    strict superset also satisfying (a). Maximality is checked against
+    the peeling construction of the k-core.
+    """
+    from repro.baselines.peeling import k_core_subgraph
+
+    sub = graph.subgraph(nodes)
+    if nodes and min(sub.degree(u) for u in nodes) < k:
+        return False
+    maximal = set(k_core_subgraph(graph, k).nodes())
+    return nodes == maximal
+
+
+def verify_decomposition(graph: Graph, coreness: dict[int, int]) -> bool:
+    """Full Definition-2 verification of a coreness map.
+
+    For every k up to k_max, ``{u : coreness[u] >= k}`` must be exactly
+    the (maximal) k-core obtained by peeling. Stronger than
+    :func:`check_locality` but slower; used on small graphs in tests.
+    """
+    if set(coreness) != set(graph.nodes()):
+        return False
+    kmax = max(coreness.values(), default=0)
+    for k in range(kmax + 2):  # +1 core beyond kmax must be empty
+        claimed = {u for u, c in coreness.items() if c >= k}
+        if not is_k_core(graph, claimed, k):
+            return False
+    return True

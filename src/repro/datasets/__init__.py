@@ -1,0 +1,42 @@
+"""Dataset registry: scaled synthetic stand-ins for the paper's graphs.
+
+The paper evaluates on nine graphs from the Stanford Large Network
+Dataset collection (SNAP). Those files are not redistributable inside
+this offline repository, so each dataset is replaced by a *seeded
+synthetic family* engineered to match the structural character that
+drives the paper's findings (degree profile, coreness profile,
+diameter class) at laptop scale — see DESIGN.md §4 for the
+substitution rationale. Real SNAP edge-list files drop in through
+:func:`repro.graph.io.read_edge_list` and the ``snap_path`` argument of
+:func:`load`.
+"""
+
+from repro.datasets.families import (
+    DatasetSpec,
+    PAPER_DATASETS,
+    amazon_like,
+    astro_like,
+    condmat_like,
+    gnutella_like,
+    load,
+    roadnet_like,
+    slashdot_like,
+    sign_slashdot_like,
+    web_berkstan_like,
+    wiki_talk_like,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "load",
+    "astro_like",
+    "condmat_like",
+    "gnutella_like",
+    "sign_slashdot_like",
+    "slashdot_like",
+    "amazon_like",
+    "web_berkstan_like",
+    "roadnet_like",
+    "wiki_talk_like",
+]

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+downstream users can catch one type. Sub-hierarchies mirror the package
+layout: graph construction, simulation, protocol configuration, and I/O.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or query (unknown node, bad edge...)."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node id was referenced that is not present in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeError(GraphError):
+    """An edge operation failed (duplicate edge, self-loop, missing edge)."""
+
+
+class GeneratorError(GraphError):
+    """A graph generator received inconsistent parameters."""
+
+
+class DatasetError(ReproError):
+    """A named dataset could not be produced or loaded."""
+
+
+class GraphIOError(ReproError):
+    """An edge-list file could not be parsed or written."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine hit an inconsistent state."""
+
+
+class ProtocolError(ReproError):
+    """A protocol implementation misused the engine API."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid run configuration (bad host count, unknown policy...)."""
+
+
+class ConvergenceError(SimulationError):
+    """A run hit its round limit before reaching a terminal state."""
+
+    def __init__(self, rounds: int, message: str | None = None) -> None:
+        text = message or f"protocol did not converge within {rounds} rounds"
+        super().__init__(text)
+        self.rounds = rounds

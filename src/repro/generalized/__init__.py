@@ -1,0 +1,26 @@
+"""Generalized (weighted) core decomposition.
+
+The paper's centralized reference [3] (Batagelj & Zaveršnik) actually
+defines *generalized cores*: given a monotone, local vertex property
+function ``p(v, C)`` — e.g. the sum of weights of edges into ``C`` —
+the p-core at level t is the maximal subgraph where every vertex has
+``p ≥ t``. The paper's locality theorem carries over verbatim to such
+functions, and with it the distributed algorithm: this package provides
+the weighted analogue of both the sequential peeling and Algorithm 1.
+"""
+
+from repro.generalized.cores import (
+    GeneralizedKCoreNode,
+    compute_weighted_index,
+    run_distributed_weighted,
+    uniform_weights,
+    weighted_core_levels,
+)
+
+__all__ = [
+    "compute_weighted_index",
+    "weighted_core_levels",
+    "run_distributed_weighted",
+    "GeneralizedKCoreNode",
+    "uniform_weights",
+]

@@ -1,0 +1,24 @@
+"""Epidemic (gossip) aggregation substrate.
+
+Implements the push-pull aggregation protocols of Jelasity, Montresor &
+Babaoglu (the paper's reference [6]), which Section 3.3 proposes for
+decentralized termination detection: "epidemic protocols for
+aggregation enable the decentralized computation of global properties
+in O(log |H|) rounds".
+"""
+
+from repro.gossip.aggregation import (
+    AggregationProcess,
+    run_aggregation,
+    AVERAGE,
+    MAXIMUM,
+    MINIMUM,
+)
+
+__all__ = [
+    "AggregationProcess",
+    "run_aggregation",
+    "AVERAGE",
+    "MAXIMUM",
+    "MINIMUM",
+]

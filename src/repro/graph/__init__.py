@@ -1,0 +1,47 @@
+"""Undirected graph substrate: storage, generators, I/O, statistics."""
+
+from repro.graph.graph import Graph
+from repro.graph.generators import (
+    caveman_graph,
+    clique_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi_graph,
+    figure1_example,
+    figure2_example,
+    grid_graph,
+    path_graph,
+    planted_partition_graph,
+    powerlaw_cluster_graph,
+    preferential_attachment_graph,
+    random_regular_graph,
+    star_graph,
+    watts_strogatz_graph,
+    worst_case_graph,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.stats import GraphStats, compute_stats
+
+__all__ = [
+    "Graph",
+    "GraphStats",
+    "compute_stats",
+    "read_edge_list",
+    "write_edge_list",
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "clique_graph",
+    "star_graph",
+    "grid_graph",
+    "caveman_graph",
+    "erdos_renyi_graph",
+    "random_regular_graph",
+    "preferential_attachment_graph",
+    "powerlaw_cluster_graph",
+    "planted_partition_graph",
+    "watts_strogatz_graph",
+    "worst_case_graph",
+    "figure1_example",
+    "figure2_example",
+]

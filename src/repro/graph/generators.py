@@ -1,0 +1,458 @@
+"""Graph generators.
+
+Two groups live here:
+
+* standard random/structured families (Erdős–Rényi, preferential
+  attachment, Holme–Kim powerlaw-cluster, Watts–Strogatz, grids, planted
+  partitions...) used by the synthetic dataset stand-ins and the tests;
+* the paper's specific constructions: the **worst-case family** of
+  Section 4 (execution time exactly ``N-1`` rounds, Figure 3), the
+  six-node graph of the worked example (Figure 2), and a small graph
+  with the three-shell structure of Figure 1.
+
+All stochastic generators take a ``seed`` (int, ``random.Random`` or
+``None``) and are fully deterministic for a given integer seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.errors import GeneratorError
+from repro.graph.graph import Graph
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "clique_graph",
+    "star_graph",
+    "grid_graph",
+    "binary_tree_graph",
+    "caveman_graph",
+    "erdos_renyi_graph",
+    "random_regular_graph",
+    "preferential_attachment_graph",
+    "powerlaw_cluster_graph",
+    "planted_partition_graph",
+    "watts_strogatz_graph",
+    "worst_case_graph",
+    "figure1_example",
+    "figure2_example",
+]
+
+
+# ----------------------------------------------------------------------
+# deterministic structures
+# ----------------------------------------------------------------------
+def empty_graph(n: int, name: str = "empty") -> Graph:
+    """``n`` isolated nodes (coreness 0 everywhere)."""
+    if n < 0:
+        raise GeneratorError("n must be non-negative")
+    return Graph.from_edges([], num_nodes=n, name=name)
+
+
+def path_graph(n: int, name: str = "path") -> Graph:
+    """A simple path on ``n`` nodes.
+
+    Section 4 notes a linear chain of size N needs ``ceil(N/2)`` rounds —
+    this generator backs that benchmark.
+    """
+    if n < 0:
+        raise GeneratorError("n must be non-negative")
+    return Graph.from_edges(
+        ((i, i + 1) for i in range(n - 1)), num_nodes=n, name=name
+    )
+
+
+def cycle_graph(n: int, name: str = "cycle") -> Graph:
+    """A cycle on ``n >= 3`` nodes (uniform coreness 2)."""
+    if n < 3:
+        raise GeneratorError("a cycle needs at least 3 nodes")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph.from_edges(edges, num_nodes=n, name=name)
+
+
+def clique_graph(n: int, name: str = "clique") -> Graph:
+    """The complete graph K_n (uniform coreness ``n-1``)."""
+    if n < 1:
+        raise GeneratorError("a clique needs at least 1 node")
+    edges = ((i, j) for i in range(n) for j in range(i + 1, n))
+    return Graph.from_edges(edges, num_nodes=n, name=name)
+
+
+def star_graph(leaves: int, name: str = "star") -> Graph:
+    """Node 0 connected to ``leaves`` pendant nodes (coreness 1)."""
+    if leaves < 0:
+        raise GeneratorError("leaves must be non-negative")
+    edges = ((0, i) for i in range(1, leaves + 1))
+    return Graph.from_edges(edges, num_nodes=leaves + 1, name=name)
+
+
+def grid_graph(
+    rows: int, cols: int, periodic: bool = False, name: str = "grid"
+) -> Graph:
+    """A 2-D lattice; the road-network stand-in builds on this.
+
+    With ``periodic`` the lattice wraps around (a torus), giving uniform
+    degree 4 and coreness 2... the open grid has coreness 2 as well but
+    degree 2/3 corners and borders, mirroring roadNet's kmax=3 profile
+    once perturbed (see :mod:`repro.datasets`).
+    """
+    if rows < 1 or cols < 1:
+        raise GeneratorError("grid needs positive dimensions")
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    def gen() -> Iterator[tuple[int, int]]:
+        for r in range(rows):
+            for c in range(cols):
+                if c + 1 < cols:
+                    yield (node(r, c), node(r, c + 1))
+                elif periodic and cols > 2:
+                    yield (node(r, c), node(r, 0))
+                if r + 1 < rows:
+                    yield (node(r, c), node(r + 1, c))
+                elif periodic and rows > 2:
+                    yield (node(r, c), node(0, c))
+
+    return Graph.from_edges(gen(), num_nodes=rows * cols, name=name)
+
+
+def binary_tree_graph(depth: int, name: str = "btree") -> Graph:
+    """Complete binary tree of the given depth (coreness 1 everywhere)."""
+    if depth < 0:
+        raise GeneratorError("depth must be non-negative")
+    n = 2 ** (depth + 1) - 1
+    edges = ((child, (child - 1) // 2) for child in range(1, n))
+    return Graph.from_edges(edges, num_nodes=n, name=name)
+
+
+def caveman_graph(
+    num_cliques: int, clique_size: int, name: str = "caveman"
+) -> Graph:
+    """Connected caveman graph: cliques arranged on a ring.
+
+    One edge per clique is rewired to the next clique, keeping the graph
+    connected while every clique interior stays a (k-1)-core.
+    """
+    if num_cliques < 1 or clique_size < 2:
+        raise GeneratorError("need >=1 cliques of size >=2")
+    graph = Graph(name=name)
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                graph.add_edge(base + i, base + j)
+    if num_cliques > 1:
+        for c in range(num_cliques):
+            u = c * clique_size
+            v = ((c + 1) % num_cliques) * clique_size + 1
+            graph.remove_edge(u, u + 1)
+            graph.add_edge(u, v, strict=False)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# random families
+# ----------------------------------------------------------------------
+def _gnp_pair_stream(
+    n: int, p: float, rng: random.Random
+) -> Iterator[tuple[int, int]]:
+    """Yield each of the C(n,2) pairs independently with probability p.
+
+    Uses geometric skipping so the cost is proportional to the number of
+    edges produced, not to n^2.
+    """
+    import math
+
+    if p <= 0.0:
+        return
+    if p >= 1.0:
+        for i in range(n):
+            for j in range(i + 1, n):
+                yield (i, j)
+        return
+    log_q = math.log1p(-p)
+    total = n * (n - 1) // 2
+    index = -1
+    while True:
+        r = rng.random()
+        # skip ~Geometric(p) pairs
+        index += 1 + int(math.log(max(r, 1e-300)) / log_q)
+        if index >= total:
+            return
+        # map linear index back to the (i, j) pair, i < j
+        i = int((1 + math.isqrt(8 * index + 1)) // 2)
+        # correct for isqrt rounding at triangle boundaries
+        while i * (i - 1) // 2 > index:
+            i -= 1
+        while (i + 1) * i // 2 <= index:
+            i += 1
+        j = index - i * (i - 1) // 2
+        yield (j, i)
+
+
+def erdos_renyi_graph(
+    n: int,
+    p: float,
+    seed: int | random.Random | None = 0,
+    name: str = "gnp",
+) -> Graph:
+    """G(n, p) via geometric skipping; O(n + m) expected time."""
+    if n < 0 or not 0.0 <= p <= 1.0:
+        raise GeneratorError("need n >= 0 and p in [0, 1]")
+    rng = make_rng(seed)
+    return Graph.from_edges(_gnp_pair_stream(n, p, rng), num_nodes=n, name=name)
+
+
+def random_regular_graph(
+    n: int,
+    d: int,
+    seed: int | random.Random | None = 0,
+    name: str = "regular",
+    max_attempts: int = 200,
+) -> Graph:
+    """Random ``d``-regular graph via the pairing (configuration) model.
+
+    Retries until a simple matching is found; for the modest ``d`` used in
+    tests this succeeds in a handful of attempts.
+    """
+    if n <= d or (n * d) % 2 != 0 or d < 0:
+        raise GeneratorError("need d < n and n*d even")
+    if d == 0:
+        return empty_graph(n, name=name)
+    rng = make_rng(seed)
+    for _ in range(max_attempts):
+        stubs = [v for v in range(n) for _ in range(d)]
+        rng.shuffle(stubs)
+        seen: set[tuple[int, int]] = set()
+        ok = True
+        for idx in range(0, len(stubs), 2):
+            u, v = stubs[idx], stubs[idx + 1]
+            key = (min(u, v), max(u, v))
+            if u == v or key in seen:
+                ok = False
+                break
+            seen.add(key)
+        if ok:
+            return Graph.from_edges(seen, num_nodes=n, name=name)
+    raise GeneratorError(
+        f"could not build a simple {d}-regular graph in {max_attempts} tries"
+    )
+
+
+def preferential_attachment_graph(
+    n: int,
+    m: int,
+    seed: int | random.Random | None = 0,
+    name: str = "ba",
+) -> Graph:
+    """Barabási–Albert graph: each new node attaches to ``m`` targets.
+
+    Target sampling is degree-proportional via the repeated-nodes trick.
+    Produces the heavy-tailed degree profile of the social/web datasets.
+    """
+    if m < 1 or n < m + 1:
+        raise GeneratorError("need 1 <= m < n")
+    rng = make_rng(seed)
+    graph = Graph(name=name)
+    repeated: list[int] = []
+    # seed with a small clique so the first arrivals have m targets
+    for i in range(m + 1):
+        graph.add_node(i)
+    for i in range(m + 1):
+        for j in range(i + 1, m + 1):
+            graph.add_edge(i, j)
+            repeated.extend((i, j))
+    for new in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(repeated[rng.randrange(len(repeated))])
+        for t in targets:
+            graph.add_edge(new, t)
+            repeated.extend((new, t))
+    return graph
+
+
+def powerlaw_cluster_graph(
+    n: int,
+    m: int,
+    p: float,
+    seed: int | random.Random | None = 0,
+    name: str = "plc",
+) -> Graph:
+    """Holme–Kim powerlaw-cluster graph (BA plus triad formation).
+
+    With probability ``p`` each attachment step closes a triangle with a
+    neighbour of the previous target, yielding the high clustering of
+    collaboration networks (the CA-AstroPh / CA-CondMat stand-ins).
+    """
+    if m < 1 or n < m + 1 or not 0.0 <= p <= 1.0:
+        raise GeneratorError("need 1 <= m < n and p in [0, 1]")
+    rng = make_rng(seed)
+    graph = Graph(name=name)
+    repeated: list[int] = []
+    for i in range(m + 1):
+        graph.add_node(i)
+    for i in range(m + 1):
+        for j in range(i + 1, m + 1):
+            graph.add_edge(i, j)
+            repeated.extend((i, j))
+    for new in range(m + 1, n):
+        added = 0
+        last_target: int | None = None
+        guard = 0
+        while added < m and guard < 50 * m:
+            guard += 1
+            if (
+                last_target is not None
+                and rng.random() < p
+                and graph.degree(last_target) > 0
+            ):
+                candidate = rng.choice(sorted(graph.neighbors(last_target)))
+            else:
+                candidate = repeated[rng.randrange(len(repeated))]
+            if candidate == new or graph.has_edge(new, candidate):
+                last_target = None
+                continue
+            graph.add_edge(new, candidate)
+            repeated.extend((new, candidate))
+            last_target = candidate
+            added += 1
+    return graph
+
+
+def planted_partition_graph(
+    num_groups: int,
+    group_size: int,
+    p_in: float,
+    p_out: float,
+    seed: int | random.Random | None = 0,
+    name: str = "ppm",
+) -> Graph:
+    """Planted-partition (stochastic block) model.
+
+    Dense within-group / sparse across-group structure approximates
+    co-purchase communities (the Amazon stand-in).
+    """
+    if num_groups < 1 or group_size < 1:
+        raise GeneratorError("need positive group count and size")
+    if not (0.0 <= p_in <= 1.0 and 0.0 <= p_out <= 1.0):
+        raise GeneratorError("probabilities must lie in [0, 1]")
+    rng = make_rng(seed)
+    n = num_groups * group_size
+    graph = Graph.from_edges([], num_nodes=n, name=name)
+    # within-group edges
+    for g in range(num_groups):
+        base = g * group_size
+        for i, j in _gnp_pair_stream(group_size, p_in, rng):
+            graph.add_edge(base + i, base + j, strict=False)
+    # cross-group edges: skip-sample over the full pair space, keep pairs
+    # whose endpoints lie in different groups
+    for i, j in _gnp_pair_stream(n, p_out, rng):
+        if i // group_size != j // group_size:
+            graph.add_edge(i, j, strict=False)
+    return graph
+
+
+def watts_strogatz_graph(
+    n: int,
+    k: int,
+    p: float,
+    seed: int | random.Random | None = 0,
+    name: str = "ws",
+) -> Graph:
+    """Watts–Strogatz ring lattice with rewiring probability ``p``."""
+    if k < 2 or k % 2 != 0 or k >= n:
+        raise GeneratorError("need even k with 2 <= k < n")
+    if not 0.0 <= p <= 1.0:
+        raise GeneratorError("p must lie in [0, 1]")
+    rng = make_rng(seed)
+    graph = Graph.from_edges([], num_nodes=n, name=name)
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            graph.add_edge(u, (u + offset) % n, strict=False)
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            v = (u + offset) % n
+            if rng.random() < p and graph.has_edge(u, v):
+                # rewire (u, v) to (u, w) for a uniform random w
+                candidates = [
+                    w
+                    for w in range(n)
+                    if w != u and not graph.has_edge(u, w)
+                ]
+                if candidates:
+                    graph.remove_edge(u, v)
+                    graph.add_edge(u, rng.choice(candidates))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# constructions from the paper
+# ----------------------------------------------------------------------
+def worst_case_graph(n: int, name: str = "worst-case") -> Graph:
+    """The Section-4 family whose execution time is exactly ``N-1`` rounds.
+
+    Quoting the construction (nodes numbered 1..N, N >= 5):
+
+    * node ``N`` (the hub) is connected to all nodes apart from ``N-3``;
+    * each node ``i = 1..N-2`` is connected to its successor ``i+1``;
+    * node ``N-3`` is also connected with node ``N-1``.
+
+    All nodes have degree 3, apart from the hub (degree ``N-2``) and node
+    1 (degree 2). Node 1 acts as a trigger whose estimate-2 broadcast
+    creeps around the polygon one node per round (Figure 3 shows N=12).
+    """
+    if n < 5:
+        raise GeneratorError("the worst-case family needs N >= 5")
+    graph = Graph.from_edges([], num_nodes=n, name=name)
+
+    def add(u: int, v: int) -> None:
+        graph.add_edge(u - 1, v - 1, strict=False)  # 1-based -> 0-based
+
+    for i in range(1, n):
+        if i != n - 3:
+            add(n, i)
+    for i in range(1, n - 1):
+        add(i, i + 1)
+    add(n - 3, n - 1)
+    return graph
+
+
+def figure1_example(name: str = "figure1") -> Graph:
+    """A small graph with the three concentric shells of Figure 1.
+
+    The exact picture in the paper is schematic; this graph reproduces
+    its *structure*: a 3-core kernel (nodes 0-3 plus 4 joining it), a
+    2-shell ring around it, and pendant 1-shell nodes.
+    """
+    edges = [
+        # 3-core: K4 over 0..3 plus node 4 tied into it
+        (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+        (4, 0), (4, 1), (4, 2),
+        # 2-shell: cycle 5-6-7 anchored to the core
+        (5, 6), (6, 7), (7, 5), (5, 0), (7, 3),
+        # extra 2-shell pair forming a triangle with the core boundary
+        (8, 9), (8, 4), (9, 4),
+        # 1-shell pendants
+        (10, 5), (11, 8), (12, 1),
+    ]
+    return Graph.from_edges(edges, name=name)
+
+
+def figure2_example(name: str = "figure2") -> Graph:
+    """The six-node graph of the Section 3.1.1 worked example.
+
+    Reconstructed from the run described in the text: nodes 1 and 6 are
+    pendants attached to 2 and 5; nodes 2-5 form a dense block (each of
+    degree 3: 2~{1,3,4}, 3~{2,4,5}, 4~{2,3,5}, 5~{3,4,6}). The protocol
+    converges in three message rounds to coreness 2 for nodes 2-5 and 1
+    for nodes 1 and 6. Ids here are 0-based (paper node i == i-1).
+    """
+    edges = [(0, 1), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (4, 5)]
+    return Graph.from_edges(edges, name=name)

@@ -1,0 +1,222 @@
+"""Graph statistics for the left half of the paper's Table 1.
+
+For each dataset the paper reports: node count, edge count, diameter,
+maximum degree, maximum coreness and average coreness. This module
+computes the purely structural ones; coreness columns come from the
+decomposition itself (:mod:`repro.baselines` or the distributed runs).
+
+Exact diameters are infeasible on large graphs, so besides the exact
+all-pairs BFS (small graphs only) a standard *double-sweep* lower bound
+with multiple restarts is provided; it is exact on trees and typically
+tight on the small-world graphs used here.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "GraphStats",
+    "compute_stats",
+    "connected_components",
+    "largest_component",
+    "bfs_distances",
+    "eccentricity",
+    "diameter_exact",
+    "diameter_double_sweep",
+    "average_clustering",
+]
+
+
+def bfs_distances(graph: Graph, source: int) -> dict[int, int]:
+    """Hop distances from ``source`` to every reachable node."""
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = du + 1
+                queue.append(v)
+    return dist
+
+
+def eccentricity(graph: Graph, source: int) -> tuple[int, int]:
+    """Return ``(ecc, farthest_node)`` within the source's component."""
+    dist = bfs_distances(graph, source)
+    far, ecc = source, 0
+    for node, d in dist.items():
+        if d > ecc:
+            far, ecc = node, d
+    return ecc, far
+
+
+def connected_components(graph: Graph) -> list[set[int]]:
+    """Connected components as node sets, largest first."""
+    seen: set[int] = set()
+    components: list[set[int]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        comp = set(bfs_distances(graph, start))
+        seen |= comp
+        components.append(comp)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_component(graph: Graph) -> Graph:
+    """Induced subgraph over the largest connected component."""
+    components = connected_components(graph)
+    if not components:
+        return Graph(name=graph.name)
+    return graph.subgraph(components[0])
+
+
+def diameter_exact(graph: Graph, limit: int = 5000) -> int:
+    """Exact diameter of the largest component via all-sources BFS.
+
+    Guarded by ``limit`` because the cost is O(N*M); raise the limit
+    explicitly for bigger graphs.
+    """
+    if graph.num_nodes > limit:
+        raise GraphError(
+            f"exact diameter on {graph.num_nodes} nodes exceeds limit={limit}; "
+            "use diameter_double_sweep"
+        )
+    components = connected_components(graph)
+    if not components:
+        return 0
+    biggest = components[0]
+    return max(eccentricity(graph, u)[0] for u in biggest)
+
+
+def diameter_double_sweep(
+    graph: Graph,
+    restarts: int = 4,
+    seed: int | random.Random | None = 0,
+) -> int:
+    """Double-sweep lower bound on the diameter (exact on trees).
+
+    BFS from a random node, then BFS again from the farthest node found;
+    the second eccentricity lower-bounds the diameter. Repeated from
+    several starts, keeping the best.
+    """
+    if graph.num_nodes == 0:
+        return 0
+    rng = make_rng(seed)
+    components = connected_components(graph)
+    biggest = sorted(components[0])
+    best = 0
+    for _ in range(max(1, restarts)):
+        start = biggest[rng.randrange(len(biggest))]
+        _, far = eccentricity(graph, start)
+        ecc, _ = eccentricity(graph, far)
+        best = max(best, ecc)
+    return best
+
+
+def average_clustering(
+    graph: Graph,
+    sample: int | None = 2000,
+    seed: int | random.Random | None = 0,
+) -> float:
+    """Average local clustering coefficient (optionally node-sampled)."""
+    nodes = list(graph.nodes())
+    if not nodes:
+        return 0.0
+    rng = make_rng(seed)
+    if sample is not None and len(nodes) > sample:
+        nodes = rng.sample(nodes, sample)
+    total = 0.0
+    for u in nodes:
+        nbrs = list(graph.neighbors(u))
+        d = len(nbrs)
+        if d < 2:
+            continue
+        links = 0
+        for i in range(d):
+            ni = nbrs[i]
+            adj = graph.neighbors(ni)
+            for j in range(i + 1, d):
+                if nbrs[j] in adj:
+                    links += 1
+        total += 2.0 * links / (d * (d - 1))
+    return total / len(nodes)
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Structural summary, mirroring Table 1's left columns."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    min_degree: int
+    max_degree: int
+    avg_degree: float
+    num_components: int
+    largest_component_size: int
+    diameter: int
+    diameter_is_exact: bool
+    coreness_max: int | None = None
+    coreness_avg: float | None = None
+    extras: dict = field(default_factory=dict)
+
+    def as_row(self) -> list[object]:
+        """Row for the Table-1 report: name, |V|, |E|, diam, dmax, kmax, kavg."""
+        return [
+            self.name,
+            self.num_nodes,
+            self.num_edges,
+            self.diameter,
+            self.max_degree,
+            self.coreness_max if self.coreness_max is not None else "-",
+            round(self.coreness_avg, 2) if self.coreness_avg is not None else "-",
+        ]
+
+
+def compute_stats(
+    graph: Graph,
+    coreness: dict[int, int] | None = None,
+    exact_diameter_limit: int = 2000,
+    seed: int | random.Random | None = 0,
+) -> GraphStats:
+    """Compute a :class:`GraphStats` summary.
+
+    The diameter is exact (all-sources BFS) when the graph is small
+    enough, otherwise the double-sweep lower bound is reported — the same
+    compromise the SNAP site itself makes for large graphs.
+    """
+    n = graph.num_nodes
+    components = connected_components(graph)
+    if n <= exact_diameter_limit:
+        diameter = diameter_exact(graph, limit=exact_diameter_limit)
+        exact = True
+    else:
+        diameter = diameter_double_sweep(graph, seed=seed)
+        exact = False
+    kmax = max(coreness.values()) if coreness else None
+    kavg = (sum(coreness.values()) / len(coreness)) if coreness else None
+    return GraphStats(
+        name=graph.name or "graph",
+        num_nodes=n,
+        num_edges=graph.num_edges,
+        min_degree=graph.min_degree(),
+        max_degree=graph.max_degree(),
+        avg_degree=(2.0 * graph.num_edges / n) if n else 0.0,
+        num_components=len(components),
+        largest_component_size=len(components[0]) if components else 0,
+        diameter=diameter,
+        diameter_is_exact=exact,
+        coreness_max=kmax,
+        coreness_avg=kavg,
+    )

@@ -1,0 +1,35 @@
+"""A Pregel-style BSP framework and the k-core algorithm on top of it.
+
+The paper's Conclusions name Pregel [9] (and Hadoop) as the natural
+deployment target: "the computation is divided in logical units
+(corresponding to the collection of nodes under the responsibility of a
+single host) and these units are divided among a collection of
+computational processes, termed workers". This package implements that
+model from scratch — master, workers, supersteps, vote-to-halt,
+message combiners, aggregators — and ports the k-core protocol to it.
+"""
+
+from repro.pregel.framework import (
+    Aggregator,
+    Combiner,
+    MaxAggregator,
+    MinCombiner,
+    PregelMaster,
+    SumAggregator,
+    Vertex,
+    VertexContext,
+)
+from repro.pregel.kcore import KCoreVertex, run_pregel_kcore
+
+__all__ = [
+    "Vertex",
+    "VertexContext",
+    "PregelMaster",
+    "Combiner",
+    "MinCombiner",
+    "Aggregator",
+    "MaxAggregator",
+    "SumAggregator",
+    "KCoreVertex",
+    "run_pregel_kcore",
+]

@@ -1,0 +1,291 @@
+"""A from-scratch Pregel-style Bulk Synchronous Parallel framework.
+
+The model (Malewicz et al., the paper's reference [9]):
+
+* computation proceeds in **supersteps**; in superstep ``S`` every
+  *active* vertex executes ``compute()`` with the messages sent to it
+  during superstep ``S-1``;
+* a vertex may send messages to any vertex it knows (here: its
+  neighbours), mutate its own value, and **vote to halt**; a halted
+  vertex is reactivated by an incoming message;
+* the run terminates when every vertex has halted and no messages are
+  in flight;
+* **combiners** fold the messages addressed to one vertex (e.g. MIN),
+  cutting inter-worker traffic; **aggregators** compute global values
+  (counts, maxima) visible to all vertices in the next superstep.
+
+Vertices are partitioned across a configurable number of workers using
+the same assignment policies as the one-to-many protocol
+(:mod:`repro.core.assignment`), and the framework tracks inter-worker
+vs intra-worker message counts so the benchmark suite can study
+placement effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Iterable, Mapping, Sequence, TypeVar
+
+from repro.core.assignment import Assignment, assign
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "Vertex",
+    "VertexContext",
+    "Combiner",
+    "MinCombiner",
+    "Aggregator",
+    "MaxAggregator",
+    "SumAggregator",
+    "PregelStats",
+    "PregelMaster",
+]
+
+V = TypeVar("V")
+M = TypeVar("M")
+
+
+class Combiner(Generic[M]):
+    """Associative-commutative fold over messages to one vertex."""
+
+    def combine(self, left: M, right: M) -> M:
+        raise NotImplementedError
+
+
+class MinCombiner(Combiner[tuple]):
+    """Keep, per sender, the smallest value — the k-core combiner.
+
+    Messages are ``(sender, value)`` pairs; only the smallest value per
+    sender matters because estimates decrease monotonically.
+    """
+
+    def combine(self, left: tuple, right: tuple) -> tuple:
+        return left if left[1] <= right[1] else right
+
+
+class Aggregator:
+    """Global reduce visible to every vertex in the next superstep."""
+
+    name: str = "aggregator"
+
+    def zero(self) -> object:
+        raise NotImplementedError
+
+    def reduce(self, accumulator: object, value: object) -> object:
+        raise NotImplementedError
+
+
+class MaxAggregator(Aggregator):
+    def __init__(self, name: str = "max") -> None:
+        self.name = name
+
+    def zero(self) -> object:
+        return None
+
+    def reduce(self, accumulator, value):
+        if accumulator is None:
+            return value
+        return max(accumulator, value)
+
+
+class SumAggregator(Aggregator):
+    def __init__(self, name: str = "sum") -> None:
+        self.name = name
+
+    def zero(self) -> object:
+        return 0
+
+    def reduce(self, accumulator, value):
+        return accumulator + value
+
+
+class VertexContext:
+    """Capabilities handed to ``Vertex.compute``."""
+
+    __slots__ = ("_master", "_vertex", "superstep")
+
+    def __init__(self, master: "PregelMaster") -> None:
+        self._master = master
+        self._vertex: "Vertex | None" = None
+        self.superstep = 0
+
+    def send(self, dest: int, message: object) -> None:
+        """Queue ``message`` for ``dest`` in the next superstep."""
+        self._master._route(self._vertex.vid, dest, message)  # type: ignore[union-attr]
+
+    def aggregate(self, name: str, value: object) -> None:
+        """Contribute ``value`` to the named aggregator."""
+        self._master._aggregate(name, value)
+
+    def aggregated(self, name: str) -> object:
+        """The named aggregator's value from the *previous* superstep."""
+        return self._master.aggregated_values.get(name)
+
+    def vote_to_halt(self) -> None:
+        self._vertex.active = False  # type: ignore[union-attr]
+
+    def num_vertices(self) -> int:
+        return len(self._master.vertices)
+
+
+class Vertex(Generic[V]):
+    """Base vertex: id, mutable value, halt flag, neighbour list."""
+
+    __slots__ = ("vid", "value", "neighbors", "active")
+
+    def __init__(self, vid: int, value: V, neighbors: Sequence[int]) -> None:
+        self.vid = vid
+        self.value = value
+        self.neighbors = tuple(neighbors)
+        self.active = True
+
+    def compute(self, ctx: VertexContext, messages: Sequence[object]) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "A" if self.active else "H"
+        return f"<{type(self).__name__} {self.vid}={self.value!r} {flag}>"
+
+
+@dataclass
+class PregelStats:
+    """Run statistics: supersteps, message volume, worker traffic."""
+
+    supersteps: int = 0
+    total_messages: int = 0
+    inter_worker_messages: int = 0
+    intra_worker_messages: int = 0
+    combined_away: int = 0
+    active_per_superstep: list[int] = field(default_factory=list)
+    messages_per_superstep: list[int] = field(default_factory=list)
+    converged: bool = True
+
+
+class PregelMaster:
+    """Coordinates workers through synchronous supersteps.
+
+    Workers are logical here (single process), but the partitioning,
+    message routing, combining and barrier structure are faithful, so
+    the framework measures exactly what a real deployment would ship
+    over the network (``stats.inter_worker_messages``).
+    """
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex],
+        num_workers: int = 4,
+        assignment: Assignment | None = None,
+        graph: Graph | None = None,
+        combiner: Combiner | None = None,
+        aggregators: Sequence[Aggregator] = (),
+        max_supersteps: int = 1_000_000,
+        strict: bool = True,
+        partition_policy: str = "modulo",
+    ) -> None:
+        self.vertices: dict[int, Vertex] = {v.vid: v for v in vertices}
+        if num_workers < 1:
+            raise ConfigurationError("num_workers must be >= 1")
+        if assignment is not None:
+            self.assignment = assignment
+        else:
+            placement_graph = graph
+            if placement_graph is None:
+                placement_graph = Graph.from_edges(
+                    [], num_nodes=0
+                )
+                for vid in self.vertices:
+                    placement_graph.add_node(vid)
+            self.assignment = assign(
+                placement_graph, num_workers, policy=partition_policy
+            )
+        self.combiner = combiner
+        self.aggregators = {a.name: a for a in aggregators}
+        self.max_supersteps = max_supersteps
+        self.strict = strict
+        self.stats = PregelStats()
+        self.aggregated_values: dict[str, object] = {}
+        self._incoming: dict[int, list[object]] = {}
+        self._next_incoming: dict[int, list[object]] = {}
+        self._combined: dict[int, dict[object, object]] = {}
+        self._accumulators: dict[str, object] = {}
+        self._ctx = VertexContext(self)
+
+    # ------------------------------------------------------------------
+    def _route(self, source: int, dest: int, message: object) -> None:
+        if dest not in self.vertices:
+            raise ConfigurationError(
+                f"vertex {source} sent to unknown vertex {dest}"
+            )
+        self.stats.total_messages += 1
+        host_of = self.assignment.host_of
+        if host_of[source] == host_of[dest]:
+            self.stats.intra_worker_messages += 1
+        else:
+            self.stats.inter_worker_messages += 1
+        if self.combiner is not None and isinstance(message, tuple):
+            # combine per (dest, message-key); for (sender, value) pairs
+            # the key is the sender, mirroring Pregel's per-edge combine
+            slot = self._combined.setdefault(dest, {})
+            key = message[0]
+            if key in slot:
+                slot[key] = self.combiner.combine(slot[key], message)
+                self.stats.combined_away += 1
+            else:
+                slot[key] = message
+        else:
+            self._next_incoming.setdefault(dest, []).append(message)
+
+    def _aggregate(self, name: str, value: object) -> None:
+        if name not in self.aggregators:
+            raise ConfigurationError(f"unknown aggregator {name!r}")
+        aggregator = self.aggregators[name]
+        current = self._accumulators.get(name, aggregator.zero())
+        self._accumulators[name] = aggregator.reduce(current, value)
+
+    def _flush_combined(self) -> None:
+        for dest, slot in self._combined.items():
+            self._next_incoming.setdefault(dest, []).extend(slot.values())
+        self._combined.clear()
+
+    # ------------------------------------------------------------------
+    def run(self) -> PregelStats:
+        """Execute supersteps until global halt; returns statistics."""
+        ctx = self._ctx
+        superstep = 0
+        while True:
+            if superstep >= self.max_supersteps:
+                self.stats.converged = False
+                if self.strict:
+                    raise ConvergenceError(
+                        superstep, "Pregel run exceeded max_supersteps"
+                    )
+                break
+            any_active = any(v.active for v in self.vertices.values())
+            if superstep > 0 and not any_active and not self._next_incoming:
+                break
+            self._incoming = self._next_incoming
+            self._next_incoming = {}
+            self._accumulators = {}
+            active_count = 0
+            messages_before = self.stats.total_messages
+            ctx.superstep = superstep
+            for vid in self.vertices:  # deterministic order
+                vertex = self.vertices[vid]
+                messages = self._incoming.get(vid, ())
+                if messages:
+                    vertex.active = True
+                if not vertex.active:
+                    continue
+                active_count += 1
+                ctx._vertex = vertex
+                vertex.compute(ctx, messages)  # type: ignore[arg-type]
+            self._flush_combined()
+            self.aggregated_values = dict(self._accumulators)
+            self.stats.active_per_superstep.append(active_count)
+            self.stats.messages_per_superstep.append(
+                self.stats.total_messages - messages_before
+            )
+            superstep += 1
+        self.stats.supersteps = superstep
+        return self.stats

@@ -1,0 +1,32 @@
+"""Message-passing simulation engines (the PeerSim stand-in).
+
+The paper evaluates its protocols with PeerSim's cycle-based engine:
+time is divided into rounds, every process gets one activation per
+round, and the activation order within a round is randomized (the
+paper's 50 repetitions differ exactly in that order). This package
+provides:
+
+* :class:`repro.sim.engine.RoundEngine` — the cycle/round engine with
+  two delivery disciplines: ``"lockstep"`` (messages sent in round r are
+  delivered in round r+1; deterministic; matches the synchronous model
+  of the paper's Section 4 analysis) and ``"peersim"`` (randomized
+  activation order, messages visible to processes activated later in
+  the same round — PeerSim's cycle semantics, used by Section 5).
+* :class:`repro.sim.async_engine.AsyncEngine` — an event-driven engine
+  with per-message latencies, used to check that the protocol only
+  needs the reliable channels assumed by the system model (Section 2),
+  not round synchrony.
+"""
+
+from repro.sim.node import Context, Process
+from repro.sim.engine import RoundEngine
+from repro.sim.async_engine import AsyncEngine
+from repro.sim.metrics import SimulationStats
+
+__all__ = [
+    "Process",
+    "Context",
+    "RoundEngine",
+    "AsyncEngine",
+    "SimulationStats",
+]

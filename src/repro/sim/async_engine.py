@@ -1,0 +1,205 @@
+"""Event-driven asynchronous engine.
+
+The paper's system model (Section 2) only assumes reliable channels and
+non-crashing hosts — round synchrony is a convenience of the analysis
+and of PeerSim, not a correctness requirement. This engine delivers each
+message after an arbitrary (bounded, per-message random) latency and
+activates the periodic ``on_round`` hook of every process on its own
+local clock, so executions are maximally unsynchronised. The k-core
+protocol must still converge to the exact coreness (tested in
+``tests/test_async.py``), which is the experimental counterpart of the
+safety/liveness proofs not using synchrony anywhere.
+
+Termination: the engine stops once no message is in flight and every
+process has been activated at least once after the last delivery, i.e.
+further timer ticks provably cannot send anything new (processes only
+send from ``on_round`` when state changed, and state changes only on
+deliveries). A hard ``max_time`` guards against runaway protocols.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+import time as _time
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import ConvergenceError, SimulationError
+from repro.sim.metrics import SimulationStats
+from repro.sim.node import Process
+from repro.utils.rng import make_rng
+
+__all__ = ["AsyncEngine"]
+
+_DELIVER = 0
+_TICK = 1
+
+
+class _AsyncContext:
+    __slots__ = ("_engine", "pid")
+
+    def __init__(self, engine: "AsyncEngine") -> None:
+        self._engine = engine
+        self.pid = -1
+
+    @property
+    def round(self) -> int:
+        # rounds are not meaningful under asynchrony; report tick count
+        return self._engine._ticks.get(self.pid, 0)
+
+    @property
+    def time(self) -> float:
+        return self._engine.now
+
+    def send(self, dest: int, payload: object) -> None:
+        self._engine._send(self.pid, dest, payload)
+
+
+class AsyncEngine:
+    """Asynchronous message-passing executor.
+
+    Parameters
+    ----------
+    processes:
+        Mapping or iterable of :class:`Process` objects.
+    latency:
+        Callable ``latency(rng) -> float`` returning a per-message delay;
+        the default draws uniformly from ``[0.1, 2.5)`` periods, so
+        messages routinely overtake each other (non-FIFO channels).
+    period:
+        Interval between two ``on_round`` activations of one process
+        (the paper's δ). Each process's clock has a random phase.
+    duplicate_prob:
+        Fault injection: probability that a message is delivered twice
+        (at independent delays). Reliable channels may duplicate in
+        practice (retransmissions); the k-core protocol is idempotent —
+        estimates fold with min — so results must be unaffected, which
+        the failure-injection tests assert.
+    """
+
+    def __init__(
+        self,
+        processes: Mapping[int, Process] | Iterable[Process],
+        latency: Callable[[random.Random], float] | None = None,
+        period: float = 1.0,
+        seed: int | random.Random | None = 0,
+        max_time: float = 1e6,
+        strict: bool = True,
+        duplicate_prob: float = 0.0,
+    ) -> None:
+        if isinstance(processes, Mapping):
+            self.processes: dict[int, Process] = dict(processes)
+        else:
+            self.processes = {p.pid: p for p in processes}
+        self.rng = make_rng(seed)
+        self.latency = latency or (lambda rng: 0.1 + 2.4 * rng.random())
+        if period <= 0:
+            raise SimulationError("period must be positive")
+        if not 0.0 <= duplicate_prob < 1.0:
+            raise SimulationError("duplicate_prob must lie in [0, 1)")
+        self.period = period
+        self.duplicate_prob = duplicate_prob
+        self.max_time = max_time
+        self.strict = strict
+        self.now = 0.0
+        self.stats = SimulationStats()
+        self._ctx = _AsyncContext(self)
+        self._queue: list[tuple[float, int, int, int, object]] = []
+        self._counter = itertools.count()
+        self._in_flight = 0
+        self._last_delivery_time = 0.0
+        self._ticks: dict[int, int] = {}
+        self._tick_armed: set[int] = set()
+        self._pending: dict[int, list[tuple[int, object]]] = {
+            pid: [] for pid in self.processes
+        }
+
+    # ------------------------------------------------------------------
+    def _send(self, sender: int, dest: int, payload: object) -> None:
+        if dest not in self.processes:
+            raise SimulationError(
+                f"process {sender} sent to unknown process {dest}"
+            )
+        self.stats.merge_send(sender)
+        copies = 1
+        if self.duplicate_prob and self.rng.random() < self.duplicate_prob:
+            copies = 2
+        for _ in range(copies):
+            delay = self.latency(self.rng)
+            if delay < 0:
+                raise SimulationError(
+                    "latency function returned a negative delay"
+                )
+            self._in_flight += 1
+            heapq.heappush(
+                self._queue,
+                (
+                    self.now + delay,
+                    _DELIVER,
+                    next(self._counter),
+                    dest,
+                    (sender, payload),
+                ),
+            )
+
+    def _schedule_tick(self, pid: int, at: float) -> None:
+        if pid in self._tick_armed:
+            return
+        self._tick_armed.add(pid)
+        heapq.heappush(
+            self._queue, (at, _TICK, next(self._counter), pid, None)
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationStats:
+        """Run until quiescence or ``max_time``."""
+        start = _time.perf_counter()
+        ctx = self._ctx
+
+        # initialise all processes at time zero, in random order
+        pids = list(self.processes)
+        self.rng.shuffle(pids)
+        for pid in pids:
+            ctx.pid = pid
+            self.processes[pid].on_init(ctx)
+            self._ticks[pid] = 0
+            self._schedule_tick(pid, self.rng.random() * self.period)
+
+        idle_window = 2.0 * self.period
+        while self._queue:
+            when, kind, _, pid, data = heapq.heappop(self._queue)
+            if when > self.max_time:
+                self.stats.converged = False
+                if self.strict:
+                    raise ConvergenceError(
+                        int(when), f"async run exceeded max_time={self.max_time}"
+                    )
+                break
+            self.now = when
+            ctx.pid = pid
+            process = self.processes[pid]
+            if kind == _DELIVER:
+                self._in_flight -= 1
+                self._last_delivery_time = self.now
+                self._pending[pid].append(data)  # type: ignore[arg-type]
+                # a quiesced receiver must wake up to process this message
+                self._schedule_tick(pid, self.now + self.rng.random() * self.period)
+            else:
+                # tick: drain pending deliveries, then periodic hook
+                self._tick_armed.discard(pid)
+                batch = self._pending[pid]
+                if batch:
+                    self._pending[pid] = []
+                    process.on_messages(ctx, batch)
+                self._ticks[pid] += 1
+                process.on_round(ctx)
+                # stop scheduling ticks once the system is provably quiet
+                quiet_for = self.now - max(self._last_delivery_time, 0.0)
+                if self._in_flight > 0 or quiet_for < idle_window:
+                    self._schedule_tick(pid, self.now + self.period)
+
+        self.stats.rounds_executed = max(self._ticks.values(), default=0)
+        self.stats.execution_time = self.stats.rounds_executed
+        self.stats.wall_seconds = _time.perf_counter() - start
+        return self.stats

@@ -1,0 +1,203 @@
+"""Round-based simulation engine (the PeerSim cycle engine stand-in).
+
+Two delivery disciplines are supported:
+
+``"lockstep"``
+    The synchronous model of the paper's Section 4 analysis: all
+    messages sent during round ``r`` are delivered at the start of round
+    ``r+1``; processes are activated in deterministic id order. Used for
+    the theoretical-bound experiments, where the round count must match
+    the proofs exactly (worst-case graph: ``N-1`` rounds; chain:
+    ``ceil(N/2)``).
+
+``"peersim"``
+    PeerSim's cycle semantics, used for the paper's Section 5
+    experiments: each round activates processes in a fresh random order,
+    and a message reaches its destination's mailbox immediately — so a
+    process activated *later* in the same round already sees messages
+    sent *earlier* in that round. The paper's 50 repetitions "differ in
+    the (random) order with which operations performed at different
+    nodes are considered in the simulation"; the spread of t_min/t_max
+    in Table 1 comes exactly from this.
+
+Termination: the engine stops after the first executed round in which no
+message was sent and no mailbox holds an undelivered message. The
+paper's *execution time* metric (rounds with at least one send,
+including the final ineffective broadcast round) is reported as
+``SimulationStats.execution_time``.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import ConvergenceError, SimulationError
+from repro.sim.metrics import SimulationStats
+from repro.sim.node import Message, Process
+from repro.utils.rng import make_rng
+
+__all__ = ["RoundEngine"]
+
+#: Observer signature: called after every executed round.
+Observer = Callable[[int, "RoundEngine"], None]
+
+
+class _RoundContext:
+    """Context implementation for :class:`RoundEngine`."""
+
+    __slots__ = ("_engine", "pid")
+
+    def __init__(self, engine: "RoundEngine") -> None:
+        self._engine = engine
+        self.pid = -1
+
+    @property
+    def round(self) -> int:
+        return self._engine.round
+
+    @property
+    def time(self) -> float:
+        return float(self._engine.round)
+
+    def send(self, dest: int, payload: object) -> None:
+        self._engine._enqueue(self.pid, dest, payload)
+
+
+class RoundEngine:
+    """Executes a set of :class:`Process` objects in rounds.
+
+    Parameters
+    ----------
+    processes:
+        The processes, as a mapping ``{pid: process}`` or an iterable
+        (pids are taken from ``process.pid``).
+    mode:
+        ``"peersim"`` (default) or ``"lockstep"``; see module docstring.
+    seed:
+        Seed for the per-round activation order (peersim mode only).
+    max_rounds:
+        Hard stop; exceeding it raises :class:`ConvergenceError` when
+        ``strict`` else marks the run ``converged=False``.
+    observers:
+        Callables invoked as ``observer(round_number, engine)`` after
+        every executed round — used for error traces and completion
+        tables.
+    """
+
+    def __init__(
+        self,
+        processes: Mapping[int, Process] | Iterable[Process],
+        mode: str = "peersim",
+        seed: int | random.Random | None = 0,
+        max_rounds: int = 1_000_000,
+        strict: bool = True,
+        observers: Sequence[Observer] = (),
+    ) -> None:
+        if isinstance(processes, Mapping):
+            self.processes: dict[int, Process] = dict(processes)
+        else:
+            self.processes = {p.pid: p for p in processes}
+        if mode not in ("peersim", "lockstep"):
+            raise SimulationError(f"unknown engine mode {mode!r}")
+        self.mode = mode
+        self.rng = make_rng(seed)
+        self.max_rounds = max_rounds
+        self.strict = strict
+        self.observers = list(observers)
+        self.round = 0
+        self.stats = SimulationStats()
+        self._ctx = _RoundContext(self)
+        # peersim: one live mailbox per process; lockstep: double buffer.
+        self._mailboxes: dict[int, list[Message]] = {
+            pid: [] for pid in self.processes
+        }
+        self._next_mailboxes: dict[int, list[Message]] = {
+            pid: [] for pid in self.processes
+        }
+        self._sends_this_round = 0
+
+    # ------------------------------------------------------------------
+    def _enqueue(self, sender: int, dest: int, payload: object) -> None:
+        if dest not in self.processes:
+            raise SimulationError(
+                f"process {sender} sent to unknown process {dest}"
+            )
+        self._sends_this_round += 1
+        self.stats.merge_send(sender)
+        if self.mode == "peersim":
+            self._mailboxes[dest].append((sender, payload))
+        else:
+            self._next_mailboxes[dest].append((sender, payload))
+
+    def _activation_order(self) -> list[int]:
+        pids = list(self.processes)
+        if self.mode == "peersim":
+            self.rng.shuffle(pids)
+        else:
+            pids.sort()
+        return pids
+
+    def _pending_mail(self) -> bool:
+        if any(self._mailboxes[pid] for pid in self._mailboxes):
+            return True
+        return any(self._next_mailboxes[pid] for pid in self._next_mailboxes)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationStats:
+        """Run to quiescence (or ``max_rounds``); returns the stats."""
+        start = _time.perf_counter()
+        ctx = self._ctx
+
+        # Round 1: initialisation broadcasts.
+        self.round = 1
+        self._sends_this_round = 0
+        for pid in self._activation_order():
+            ctx.pid = pid
+            self.processes[pid].on_init(ctx)
+        self._finish_round()
+
+        while True:
+            if self._sends_last_round == 0 and not self._pending_mail():
+                break
+            if self.round >= self.max_rounds:
+                self.stats.converged = False
+                self.stats.wall_seconds = _time.perf_counter() - start
+                if self.strict:
+                    raise ConvergenceError(self.round)
+                return self.stats
+            self.round += 1
+            self._sends_this_round = 0
+            if self.mode == "lockstep":
+                # flip buffers: last round's sends become this round's mail
+                self._mailboxes, self._next_mailboxes = (
+                    self._next_mailboxes,
+                    self._mailboxes,
+                )
+            for pid in self._activation_order():
+                ctx.pid = pid
+                process = self.processes[pid]
+                mailbox = self._mailboxes[pid]
+                if mailbox:
+                    self._mailboxes[pid] = []
+                    process.on_messages(ctx, mailbox)
+                process.on_round(ctx)
+            self._finish_round()
+
+        self.stats.rounds_executed = self.round
+        self.stats.wall_seconds = _time.perf_counter() - start
+        return self.stats
+
+    def _finish_round(self) -> None:
+        self.stats.sends_per_round.append(self._sends_this_round)
+        if self._sends_this_round > 0:
+            self.stats.execution_time += 1
+        self._sends_last_round = self._sends_this_round
+        for observer in self.observers:
+            observer(self.round, self)
+
+    # ------------------------------------------------------------------
+    def process(self, pid: int) -> Process:
+        """Look up a process by id (observer convenience)."""
+        return self.processes[pid]

@@ -1,0 +1,66 @@
+"""Simulation run statistics.
+
+The paper's two figures of merit (Section 5.1) are *execution time* —
+"the number of rounds in which at least one node sends an update
+message" — and *messages exchanged per node*. :class:`SimulationStats`
+carries both, plus the raw per-round send counts used by the error-trace
+and core-completion analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimulationStats"]
+
+
+@dataclass
+class SimulationStats:
+    """Outcome of one engine run."""
+
+    #: Rounds actually executed (including the final quiet round).
+    rounds_executed: int = 0
+    #: The paper's execution time: rounds with >= 1 message sent.
+    execution_time: int = 0
+    #: Total messages sent (point-to-point count).
+    total_messages: int = 0
+    #: Messages sent by each process id.
+    sent_per_process: dict[int, int] = field(default_factory=dict)
+    #: Messages sent during each round (index 0 == round 1).
+    sends_per_round: list[int] = field(default_factory=list)
+    #: False when the engine hit ``max_rounds`` before quiescence.
+    converged: bool = True
+    #: Wall-clock seconds consumed by the run.
+    wall_seconds: float = 0.0
+    #: Protocol-specific extras (e.g. one-to-many "estimates sent").
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def messages_avg(self) -> float:
+        """Average messages sent per process (the paper's m_avg)."""
+        if not self.sent_per_process:
+            return 0.0
+        return self.total_messages / len(self.sent_per_process)
+
+    @property
+    def messages_max(self) -> int:
+        """Maximum messages sent by any process (the paper's m_max)."""
+        if not self.sent_per_process:
+            return 0
+        return max(self.sent_per_process.values())
+
+    def merge_send(self, sender: int, count: int = 1) -> None:
+        """Record ``count`` messages sent by ``sender`` (engine use)."""
+        self.total_messages += count
+        self.sent_per_process[sender] = (
+            self.sent_per_process.get(sender, 0) + count
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"rounds={self.execution_time} (executed {self.rounds_executed}), "
+            f"messages={self.total_messages} "
+            f"(avg {self.messages_avg:.2f}/node, max {self.messages_max}), "
+            f"converged={self.converged}"
+        )

@@ -1,0 +1,82 @@
+"""Process and context abstractions shared by all simulation engines.
+
+A *process* is the unit of computation: a node in the one-to-one
+scenario, a host in the one-to-many scenario, or a gossip participant.
+Engines call the three hooks; processes communicate exclusively through
+``ctx.send`` — direct attribute access between processes is a protocol
+bug (and exactly what the paper's model forbids: a host "cannot obtain
+information about neighbors of other hosts").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol as TypingProtocol, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+__all__ = ["Context", "Process", "Message"]
+
+#: A delivered message: (sender process id, payload).
+Message = tuple[int, object]
+
+
+class Context(TypingProtocol):
+    """Engine-provided capabilities handed to every process hook."""
+
+    @property
+    def pid(self) -> int:
+        """Id of the process being activated."""
+
+    @property
+    def round(self) -> int:
+        """Current round number (1-based); async engines report 0."""
+
+    @property
+    def time(self) -> float:
+        """Current simulation time (== round for round engines)."""
+
+    def send(self, dest: int, payload: object) -> None:
+        """Send ``payload`` to process ``dest`` over a reliable channel."""
+
+
+class Process:
+    """Base class for simulated processes.
+
+    Subclasses override any of the three hooks:
+
+    * :meth:`on_init` — called exactly once, in the first round, before
+      any message is delivered to this process. Algorithm 1's
+      ``on initialization`` block.
+    * :meth:`on_messages` — called with the batch of messages delivered
+      since the previous activation. Algorithm 1's ``on receive``
+      handler; batching is sound here because estimate updates commute
+      and only the post-batch state is observable by the next send.
+    * :meth:`on_round` — called once per activation after message
+      processing. Algorithm 1's ``repeat every δ time units`` block.
+    """
+
+    __slots__ = ("pid",)
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+
+    def on_init(self, ctx: Context) -> None:  # pragma: no cover - default
+        """One-time initialisation; may send messages."""
+
+    def on_messages(self, ctx: Context, messages: Sequence[Message]) -> None:
+        """Handle a non-empty batch of delivered messages."""
+
+    def on_round(self, ctx: Context) -> None:  # pragma: no cover - default
+        """Periodic activation (every round / every δ time units)."""
+
+    def is_quiescent(self) -> bool:
+        """True when the process has no buffered outgoing work.
+
+        Engines use this only for sanity checks; actual termination is
+        detected from message flow (no sends + empty mailboxes).
+        """
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} pid={self.pid}>"

@@ -1,0 +1,12 @@
+"""Incremental coreness maintenance under edge/node churn.
+
+The paper targets "live" systems (one-to-one scenario) where the graph
+is the overlay itself — which churns. This extension keeps a coreness
+map up to date under edge insertions and deletions without global
+recomputation, using the locality theorem (Theorem 1) to bound the
+affected region.
+"""
+
+from repro.streaming.maintenance import DynamicKCore
+
+__all__ = ["DynamicKCore"]

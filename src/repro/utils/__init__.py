@@ -1,0 +1,14 @@
+"""Small shared utilities: seeded RNG helpers, tables, ASCII plots, CSV."""
+
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.tables import format_table
+from repro.utils.ascii_plot import ascii_series_plot
+from repro.utils.csvio import write_csv
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "format_table",
+    "ascii_series_plot",
+    "write_csv",
+]

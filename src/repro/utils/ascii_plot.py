@@ -1,0 +1,75 @@
+"""Minimal ASCII line plots.
+
+matplotlib is not a dependency of this library; figures from the paper
+(Figures 4 and 5) are regenerated as CSV series plus a terminal rendering
+produced here, so a user can still see the curve shapes in a console.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_series_plot"]
+
+_MARKS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int, log: bool) -> int:
+    if hi <= lo:
+        return 0
+    if log:
+        value = math.log10(max(value, 1e-12))
+        lo = math.log10(max(lo, 1e-12))
+        hi = math.log10(max(hi, 1e-12))
+        if hi <= lo:
+            return 0
+    frac = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(frac * (cells - 1)))))
+
+
+def ascii_series_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    logy: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` as an ASCII scatter/line plot.
+
+    Each series gets a letter marker; a legend maps letters back to
+    labels. ``logy`` plots y on a log10 axis (clamped at 1e-12), matching
+    the log-scale error plots of Figure 4.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(empty plot)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    xlo, xhi = min(xs), max(xs)
+    ylo, yhi = min(ys), max(ys)
+    if logy:
+        ylo = max(ylo, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (label, pts) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in pts:
+            col = _scale(x, xlo, xhi, width, log=False)
+            row = height - 1 - _scale(y, ylo, yhi, height, log=logy)
+            grid[row][col] = mark
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    axis = f"y:[{ylo:.3g}..{yhi:.3g}]" + (" log" if logy else "")
+    lines.append(axis)
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" x:[{xlo:.3g}..{xhi:.3g}]")
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={label}"
+        for i, label in enumerate(series.keys())
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""CSV output helpers for benchmark artifacts.
+
+Every regenerated table/figure also lands as a CSV file under
+``benchmarks/out/`` so the raw series can be re-plotted with any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable, Sequence
+
+__all__ = ["write_csv"]
+
+
+def write_csv(
+    path: str | os.PathLike[str],
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Write ``rows`` with ``headers`` to ``path``, creating directories.
+
+    Returns the path written, for logging.
+    """
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(list(row))
+    return path

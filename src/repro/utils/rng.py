@@ -1,0 +1,54 @@
+"""Deterministic random-number helpers.
+
+All stochastic components in the library (generators, simulation engines,
+dataset families) accept either an integer seed or a ready
+:class:`random.Random` instance. These helpers normalise that convention
+and derive independent child streams so that, e.g., each repetition of an
+experiment gets its own reproducible randomness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+__all__ = ["make_rng", "spawn_rngs", "derive_seed"]
+
+#: Multiplier used to decorrelate derived seeds (a large odd constant).
+_SEED_STRIDE = 0x9E3779B97F4A7C15
+
+
+def make_rng(seed: int | random.Random | None) -> random.Random:
+    """Return a :class:`random.Random` for ``seed``.
+
+    ``seed`` may be an ``int`` (a fresh generator seeded with it), an
+    existing ``Random`` instance (returned unchanged, so callers can share
+    a stream), or ``None`` (a fresh, OS-seeded generator).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def derive_seed(base: int, index: int) -> int:
+    """Derive a decorrelated child seed from ``base`` and ``index``.
+
+    Uses a splitmix-style multiply so that consecutive indices do not
+    produce correlated Mersenne-Twister initial states.
+    """
+    return (base + (index + 1) * _SEED_STRIDE) % (2**63)
+
+
+def spawn_rngs(seed: int, count: int) -> list[random.Random]:
+    """Return ``count`` independent generators derived from ``seed``."""
+    return [random.Random(derive_seed(seed, i)) for i in range(count)]
+
+
+def sample_without_replacement(
+    rng: random.Random, population: Iterable[int], k: int
+) -> list[int]:
+    """Sample ``k`` distinct items; tolerant of ``k`` larger than the pool."""
+    pool = list(population)
+    if k >= len(pool):
+        return pool
+    return rng.sample(pool, k)

@@ -1,0 +1,73 @@
+"""Plain-text table rendering for benchmark and CLI reports.
+
+The benchmark harness reprints the paper's tables (Table 1, Table 2) as
+aligned ASCII tables; this module is the single formatting point so every
+report looks the same.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_number"]
+
+
+def format_number(value: object, digits: int = 2) -> str:
+    """Render a cell value: floats rounded, ints grouped, rest ``str``-ed."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}".replace(",", " ")
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    digits: int = 2,
+) -> str:
+    """Return an aligned ASCII table.
+
+    ``headers`` is a row of column names; ``rows`` holds the data. Numbers
+    are right-aligned, text left-aligned, mirroring how the paper's tables
+    read.
+    """
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    numeric: list[bool] = [True] * len(headers)
+    for row in rows:
+        cells = []
+        for col, value in enumerate(row):
+            cells.append(format_number(value, digits=digits))
+            if not isinstance(value, (int, float)):
+                numeric[col] = False
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(headers)}"
+            )
+        rendered.append(cells)
+
+    widths = [
+        max(len(rendered[r][c]) for r in range(len(rendered)))
+        for c in range(len(headers))
+    ]
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for col, cell in enumerate(cells):
+            if numeric[col]:
+                parts.append(cell.rjust(widths[col]))
+            else:
+                parts.append(cell.ljust(widths[col]))
+        return "  ".join(parts).rstrip()
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(rendered[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in rendered[1:])
+    return "\n".join(lines)

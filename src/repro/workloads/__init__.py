@@ -1,0 +1,15 @@
+"""Workload generators: churn traces for "live" overlay experiments."""
+
+from repro.workloads.churn import (
+    ChurnEvent,
+    ChurnTrace,
+    generate_churn_trace,
+    replay_trace,
+)
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnTrace",
+    "generate_churn_trace",
+    "replay_trace",
+]

@@ -1,0 +1,183 @@
+"""Synthetic churn traces for live-overlay experiments.
+
+The paper's one-to-one scenario is a running P2P system; real
+deployments churn. This module generates reproducible churn traces in
+the style of P2P measurement studies: Poisson joins, exponential
+session lengths (so departures follow the current population), and
+rewiring. Traces drive the streaming-maintenance benchmarks and the
+``live_overlay_churn`` example, and double as fuzzing input for the
+:class:`~repro.streaming.DynamicKCore` property tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Literal
+
+from repro.errors import ConfigurationError
+from repro.graph.graph import Graph
+from repro.utils.rng import make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.streaming import DynamicKCore
+
+__all__ = ["ChurnEvent", "ChurnTrace", "generate_churn_trace", "replay_trace"]
+
+EventKind = Literal["join", "leave", "link", "unlink"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One timestamped overlay event."""
+
+    time: float
+    kind: EventKind
+    #: ``join``: (new_node, contact...); ``leave``: (node,);
+    #: ``link``/``unlink``: (u, v).
+    nodes: tuple[int, ...]
+
+
+@dataclass
+class ChurnTrace:
+    """A replayable sequence of churn events plus its seed graph."""
+
+    initial: Graph
+    events: list[ChurnEvent] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[ChurnEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+
+def generate_churn_trace(
+    initial: Graph,
+    duration: float = 100.0,
+    join_rate: float = 0.5,
+    mean_session: float = 60.0,
+    rewire_rate: float = 0.3,
+    contacts_per_join: int = 2,
+    seed: int | None = 0,
+) -> ChurnTrace:
+    """Generate a churn trace over ``initial``.
+
+    Joins arrive Poisson(``join_rate``); each alive peer leaves after an
+    Exp(``mean_session``) lifetime; rewires (drop one link, add another)
+    arrive Poisson(``rewire_rate``). All times are simulated seconds;
+    the event list is sorted by time and fully determined by ``seed``.
+    """
+    if duration <= 0 or join_rate < 0 or rewire_rate < 0:
+        raise ConfigurationError("invalid churn parameters")
+    if mean_session <= 0 or contacts_per_join < 1:
+        raise ConfigurationError("invalid churn parameters")
+    rng = make_rng(seed)
+
+    def exponential(rate: float) -> float:
+        return rng.expovariate(rate) if rate > 0 else math.inf
+
+    # simulate the overlay state so events stay valid when replayed
+    state = initial.copy()
+    next_id = (max(state.nodes()) + 1) if state.num_nodes else 0
+    departures: list[tuple[float, int]] = [
+        (exponential(1.0 / mean_session), u) for u in state.nodes()
+    ]
+    events: list[ChurnEvent] = []
+    now = 0.0
+    next_join = exponential(join_rate)
+    next_rewire = exponential(rewire_rate)
+    while True:
+        next_leave = min(departures, default=(math.inf, -1))
+        now = min(next_join, next_rewire, next_leave[0])
+        if now > duration:
+            break
+        if now == next_join:
+            population = sorted(state.nodes())
+            contacts = tuple(
+                rng.sample(
+                    population, min(contacts_per_join, len(population))
+                )
+            )
+            state.add_node(next_id)
+            for contact in contacts:
+                state.add_edge(next_id, contact, strict=False)
+            events.append(ChurnEvent(now, "join", (next_id, *contacts)))
+            departures.append(
+                (now + exponential(1.0 / mean_session), next_id)
+            )
+            next_id += 1
+            next_join = now + exponential(join_rate)
+        elif now == next_leave[0]:
+            departures.remove(next_leave)
+            victim = next_leave[1]
+            if state.has_node(victim) and state.num_nodes > 3:
+                state.remove_node(victim)
+                events.append(ChurnEvent(now, "leave", (victim,)))
+            next_rewire = max(next_rewire, now)
+        else:
+            edges = sorted(state.edges())
+            if edges and state.num_nodes >= 4:
+                u, v = edges[rng.randrange(len(edges))]
+                population = sorted(state.nodes())
+                for _ in range(20):
+                    a, b = rng.sample(population, 2)
+                    if not state.has_edge(a, b):
+                        state.remove_edge(u, v)
+                        state.add_edge(a, b)
+                        events.append(ChurnEvent(now, "unlink", (u, v)))
+                        events.append(ChurnEvent(now, "link", (a, b)))
+                        break
+            next_rewire = now + exponential(rewire_rate)
+    return ChurnTrace(initial=initial.copy(), events=events)
+
+
+def replay_trace(
+    trace: ChurnTrace,
+    engine: "DynamicKCore | None" = None,
+    verify_every: int | None = None,
+) -> "DynamicKCore":
+    """Apply a trace to a :class:`DynamicKCore` (created if omitted).
+
+    ``verify_every`` cross-checks the maintained coreness against full
+    recomputation every N events (slow; for tests).
+    """
+    from repro.streaming import DynamicKCore
+
+    if engine is None:
+        engine = DynamicKCore(trace.initial)
+    for index, event in enumerate(trace.events, start=1):
+        if event.kind == "join":
+            new, *contacts = event.nodes
+            engine.add_node(new)
+            for contact in contacts:
+                if engine.graph.has_node(contact):
+                    engine.insert_edge(new, contact)
+        elif event.kind == "leave":
+            (victim,) = event.nodes
+            if engine.graph.has_node(victim):
+                engine.remove_node(victim)
+        elif event.kind == "link":
+            u, v = event.nodes
+            if (
+                engine.graph.has_node(u)
+                and engine.graph.has_node(v)
+                and not engine.graph.has_edge(u, v)
+            ):
+                engine.insert_edge(u, v)
+        else:  # unlink
+            u, v = event.nodes
+            if engine.graph.has_edge(u, v):
+                engine.delete_edge(u, v)
+        if verify_every and index % verify_every == 0:
+            if not engine.verify():
+                raise AssertionError(
+                    f"maintained coreness diverged after event {index}"
+                )
+    return engine

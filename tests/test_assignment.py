@@ -1,0 +1,94 @@
+"""Tests for node→host assignment policies (Section 3.2.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import ASSIGNMENT_POLICIES, Assignment, assign
+from repro.errors import ConfigurationError
+from repro.graph import generators as gen
+
+from tests.conftest import graphs
+
+
+class TestModulo:
+    def test_paper_formula(self):
+        g = gen.path_graph(10)
+        assignment = assign(g, 3, policy="modulo")
+        for u in g.nodes():
+            assert assignment.host_of[u] == u % 3
+
+    def test_owned_partition(self):
+        g = gen.path_graph(10)
+        assignment = assign(g, 3)
+        all_owned = [u for nodes in assignment.owned.values() for u in nodes]
+        assert sorted(all_owned) == sorted(g.nodes())
+
+
+class TestPolicies:
+    @given(graphs(min_nodes=1), st.integers(1, 8), st.sampled_from(sorted(ASSIGNMENT_POLICIES)))
+    @settings(max_examples=60, deadline=None)
+    def test_every_policy_partitions_nodes(self, g, hosts, policy):
+        assignment = assign(g, hosts, policy=policy, seed=5)
+        assert set(assignment.host_of) == set(g.nodes())
+        assert all(0 <= h < hosts for h in assignment.host_of.values())
+        total = sum(len(nodes) for nodes in assignment.owned.values())
+        assert total == g.num_nodes
+
+    def test_block_is_contiguous(self):
+        g = gen.path_graph(12)
+        assignment = assign(g, 4, policy="block")
+        for host, nodes in assignment.owned.items():
+            if len(nodes) > 1:
+                assert nodes == list(range(nodes[0], nodes[-1] + 1))
+
+    def test_random_is_balanced(self):
+        g = gen.path_graph(100)
+        assignment = assign(g, 10, policy="random", seed=1)
+        sizes = [len(v) for v in assignment.owned.values()]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_random_seed_deterministic(self):
+        g = gen.path_graph(50)
+        a = assign(g, 5, policy="random", seed=3).host_of
+        b = assign(g, 5, policy="random", seed=3).host_of
+        c = assign(g, 5, policy="random", seed=4).host_of
+        assert a == b
+        assert a != c
+
+    def test_bfs_improves_locality_over_modulo_on_grid(self):
+        g = gen.grid_graph(12, 12)
+        modulo = assign(g, 4, policy="modulo")
+        bfs = assign(g, 4, policy="bfs")
+        assert bfs.cut_edges(g) < modulo.cut_edges(g)
+
+    def test_unknown_policy_rejected(self):
+        g = gen.path_graph(3)
+        with pytest.raises(ConfigurationError):
+            assign(g, 2, policy="magic")
+
+    def test_invalid_host_count_rejected(self):
+        g = gen.path_graph(3)
+        with pytest.raises(ConfigurationError):
+            assign(g, 0)
+
+
+class TestAssignmentObject:
+    def test_invalid_host_in_map_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Assignment(host_of={0: 5}, num_hosts=2)
+
+    def test_load_imbalance_balanced(self):
+        a = Assignment(host_of={0: 0, 1: 1}, num_hosts=2)
+        assert a.load_imbalance() == pytest.approx(1.0)
+
+    def test_load_imbalance_skewed(self):
+        a = Assignment(host_of={0: 0, 1: 0, 2: 0, 3: 1}, num_hosts=2)
+        assert a.load_imbalance() == pytest.approx(1.5)
+
+    def test_cut_edges(self):
+        g = gen.path_graph(4)  # edges (0,1), (1,2), (2,3)
+        a = Assignment(host_of={0: 0, 1: 0, 2: 1, 3: 1}, num_hosts=2)
+        assert a.cut_edges(g) == 1

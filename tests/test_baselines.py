@@ -1,0 +1,111 @@
+"""Cross-validation of the three sequential baselines."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.baselines import (
+    batagelj_zaversnik,
+    k_core_subgraph,
+    networkx_coreness,
+    peeling_coreness,
+)
+from repro.graph import generators as gen
+from repro.graph.graph import Graph
+
+from tests.conftest import graphs
+
+
+class TestKnownValues:
+    def test_empty_graph(self):
+        assert batagelj_zaversnik(Graph()) == {}
+        assert peeling_coreness(Graph()) == {}
+
+    def test_isolated_nodes_coreness_zero(self):
+        g = gen.empty_graph(4)
+        assert batagelj_zaversnik(g) == {u: 0 for u in range(4)}
+        assert peeling_coreness(g) == {u: 0 for u in range(4)}
+
+    def test_single_edge(self):
+        g = Graph.from_edges([(0, 1)])
+        assert batagelj_zaversnik(g) == {0: 1, 1: 1}
+
+    def test_clique(self):
+        g = gen.clique_graph(6)
+        assert set(batagelj_zaversnik(g).values()) == {5}
+
+    def test_star_coreness_one(self):
+        g = gen.star_graph(9)
+        assert set(batagelj_zaversnik(g).values()) == {1}
+
+    def test_cycle_coreness_two(self):
+        g = gen.cycle_graph(8)
+        assert set(batagelj_zaversnik(g).values()) == {2}
+
+    def test_figure1_shells(self):
+        core = batagelj_zaversnik(gen.figure1_example())
+        assert core[0] == core[1] == core[2] == core[3] == core[4] == 3
+        assert core[5] == core[6] == core[7] == 2
+        assert core[10] == core[11] == core[12] == 1
+
+    def test_clique_with_tail(self):
+        # K4 with a pendant path: clique nodes 3, path nodes 1
+        g = gen.clique_graph(4)
+        g.add_edge(3, 4)
+        g.add_edge(4, 5)
+        core = batagelj_zaversnik(g)
+        assert core[0] == 3 and core[4] == 1 and core[5] == 1
+
+    def test_non_contiguous_ids(self):
+        g = Graph.from_edges([(100, 200), (200, 300), (300, 100)])
+        assert set(batagelj_zaversnik(g).values()) == {2}
+
+
+class TestKCoreSubgraph:
+    def test_zero_core_is_everything(self):
+        g = gen.star_graph(4)
+        assert k_core_subgraph(g, 0).num_nodes == g.num_nodes
+
+    def test_core_nesting(self):
+        g = gen.figure1_example()
+        cores = [set(k_core_subgraph(g, k).nodes()) for k in range(5)]
+        for smaller, larger in zip(cores[1:], cores):
+            assert smaller <= larger
+
+    def test_too_deep_core_empty(self):
+        g = gen.cycle_graph(5)
+        assert k_core_subgraph(g, 3).num_nodes == 0
+
+    def test_core_min_degree_property(self):
+        g = gen.powerlaw_cluster_graph(100, 3, 0.4, seed=8)
+        for k in (1, 2, 3):
+            sub = k_core_subgraph(g, k)
+            if sub.num_nodes:
+                assert sub.min_degree() >= k
+
+
+class TestOracleAgreement:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_bz_equals_networkx(self, g: Graph):
+        assert batagelj_zaversnik(g) == networkx_coreness(g)
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_peeling_equals_bz(self, g: Graph):
+        assert peeling_coreness(g) == batagelj_zaversnik(g)
+
+    def test_agreement_on_dataset_families(self):
+        from repro.datasets import PAPER_DATASETS
+
+        for spec in PAPER_DATASETS[:3]:
+            g = spec.build(scale=0.05, seed=2)
+            assert batagelj_zaversnik(g) == networkx_coreness(g)
+
+
+class TestNetworkxAdapter:
+    def test_roundtrip(self):
+        from repro.baselines.networkx_adapter import from_networkx, to_networkx
+
+        g = gen.powerlaw_cluster_graph(50, 2, 0.1, seed=3)
+        assert from_networkx(to_networkx(g)) == g

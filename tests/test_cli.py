@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import generators as gen
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture()
+def edge_file(tmp_path):
+    graph = gen.figure1_example()
+    path = tmp_path / "fig1.txt"
+    write_edge_list(graph, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_decompose_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["decompose"])
+
+    def test_algorithm_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["decompose", "--dataset", "astro", "--algorithm", "magic"]
+            )
+
+
+class TestDecompose:
+    def test_edge_file_bz(self, edge_file, capsys):
+        assert main(["decompose", "--edges", edge_file, "--algorithm", "bz"]) == 0
+        out = capsys.readouterr().out
+        assert "k_max=3" in out
+        assert "shell sizes" in out
+
+    def test_edge_file_one_to_one(self, edge_file, capsys):
+        assert main(["decompose", "--edges", edge_file]) == 0
+        out = capsys.readouterr().out
+        assert "one-to-one" in out
+        assert "rounds=" in out
+
+    def test_one_to_many_hosts_flag(self, edge_file, capsys):
+        assert main(
+            [
+                "decompose", "--edges", edge_file,
+                "--algorithm", "one-to-many", "--hosts", "3",
+            ]
+        ) == 0
+        assert "one-to-many" in capsys.readouterr().out
+
+    def test_pregel(self, edge_file, capsys):
+        assert main(
+            ["decompose", "--edges", edge_file, "--algorithm", "pregel"]
+        ) == 0
+        assert "pregel" in capsys.readouterr().out
+
+    def test_dataset_source(self, capsys):
+        assert main(
+            [
+                "decompose", "--dataset", "gnutella",
+                "--scale", "0.05", "--algorithm", "bz",
+            ]
+        ) == 0
+        assert "k_max" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_output(self, edge_file, capsys):
+        assert main(["stats", "--edges", edge_file]) == 0
+        out = capsys.readouterr().out
+        assert "diameter" in out
+        assert "k_max" in out
+
+
+class TestTable1AndDatasets:
+    def test_table1_subset(self, capsys):
+        assert main(
+            [
+                "table1", "--scale", "0.05", "--repetitions", "2",
+                "--only", "gnutella", "roadnet",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 1 (reproduced)" in out
+        assert "gnutella-like" in out
+
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "web-BerkStan" in out
+        assert "synthetic stand-ins" in out

@@ -1,0 +1,135 @@
+"""Unit and property tests for Algorithm 2 / Algorithm 4."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compute_index import (
+    compute_index,
+    improve_estimate_naive,
+    improve_estimate_worklist,
+)
+
+
+class TestComputeIndexBasics:
+    def test_no_neighbors(self):
+        assert compute_index([], 0) == 0
+        # with k >= 1 and no support, the scan bottoms out at 1: the
+        # paper's loop never returns less than 1 for a node with
+        # degree >= 1 (a node with any neighbour is in the 1-core)
+        assert compute_index([], 3) == 1
+
+    def test_degenerate_k(self):
+        assert compute_index([5, 5], 0) == 0
+        assert compute_index([5], 1) == 1
+
+    def test_all_high_estimates_clamp_to_k(self):
+        assert compute_index([100, 100, 100], 3) == 3
+
+    def test_paper_figure2_node2(self):
+        # node 2 of the Figure-2 path: neighbours est {1: 1, 3: 2}, own
+        # estimate 2 -> exactly one neighbour >= 2 and two >= 1 -> 1
+        assert compute_index([1, 2], 2) == 1
+
+    def test_mixed(self):
+        assert compute_index([2, 2, 3], 3) == 2
+        assert compute_index([1, 1, 1], 3) == 1
+        assert compute_index([3, 3, 3], 3) == 3
+        assert compute_index([1, 2, 3, 4], 4) == 2
+
+    def test_clique_fixpoint(self):
+        # in K5, all estimates 4, own estimate 4 -> stays 4
+        assert compute_index([4, 4, 4, 4], 4) == 4
+
+
+class TestComputeIndexProperties:
+    @given(st.lists(st.integers(0, 50), max_size=30), st.integers(0, 30))
+    @settings(max_examples=200, deadline=None)
+    def test_definition(self, estimates, k):
+        """Result is the largest i <= max(k,?) with >= i estimates >= i."""
+        result = compute_index(estimates, k)
+        assert 0 <= result <= max(k, 0)
+        if k > 0:
+            # verify against the direct definition over 1..k
+            def support(i: int) -> int:
+                return sum(1 for e in estimates if e >= i)
+
+            candidates = [i for i in range(2, k + 1) if support(i) >= i]
+            expected = max(candidates, default=min(1, k))
+            assert result == expected
+
+    @given(
+        st.lists(st.integers(0, 20), min_size=1, max_size=20),
+        st.integers(1, 20),
+        st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_monotone_in_estimates(self, estimates, k, data):
+        """Lowering any estimate can never raise the result."""
+        index = data.draw(st.integers(0, len(estimates) - 1))
+        lowered = list(estimates)
+        lowered[index] = max(0, lowered[index] - data.draw(st.integers(0, 5)))
+        assert compute_index(lowered, k) <= compute_index(estimates, k)
+
+    @given(st.lists(st.integers(0, 20), max_size=20), st.integers(0, 20))
+    @settings(max_examples=100, deadline=None)
+    def test_clamping_irrelevant(self, estimates, k):
+        """Estimates above k behave exactly like k (the min(k, est) line)."""
+        clamped = [min(e, k) for e in estimates]
+        assert compute_index(estimates, k) == compute_index(clamped, k)
+
+
+def _ring_with_chord():
+    """Five-cycle plus one chord; interesting single-host cascade."""
+    neighbors = {
+        0: (1, 4), 1: (0, 2, 3), 2: (1, 3), 3: (2, 4, 1), 4: (3, 0),
+    }
+    est = {u: len(nbrs) for u, nbrs in neighbors.items()}
+    return neighbors, est
+
+
+class TestImproveEstimate:
+    def test_naive_reaches_coreness_on_single_host(self):
+        neighbors, est = _ring_with_chord()
+        changed: set[int] = set()
+        improve_estimate_naive(est, list(neighbors), neighbors, changed)
+        assert est == {0: 2, 1: 2, 2: 2, 3: 2, 4: 2}
+        assert changed == {1, 3}
+
+    def test_worklist_matches_naive(self):
+        neighbors, est1 = _ring_with_chord()
+        est2 = dict(est1)
+        c1: set[int] = set()
+        c2: set[int] = set()
+        improve_estimate_naive(est1, list(neighbors), neighbors, c1)
+        improve_estimate_worklist(est2, list(neighbors), neighbors, c2)
+        assert est1 == est2
+        assert c1 == c2
+
+    @given(st.integers(4, 25), st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_single_host_fixpoint_is_coreness(self, n, seed):
+        """One host owning the whole graph computes the exact coreness
+        with no communication at all — the degenerate one-to-many case."""
+        from repro.baselines.batagelj_zaversnik import batagelj_zaversnik
+        from repro.graph.generators import erdos_renyi_graph
+
+        graph = erdos_renyi_graph(n, 0.25, seed=seed)
+        neighbors = {u: tuple(graph.neighbors(u)) for u in graph.nodes()}
+        est = {u: graph.degree(u) for u in graph.nodes()}
+        improve_estimate_worklist(est, list(neighbors), neighbors, set())
+        assert est == batagelj_zaversnik(graph)
+
+    @given(st.integers(4, 20), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_naive_and_worklist_same_fixpoint(self, n, seed):
+        from repro.graph.generators import erdos_renyi_graph
+
+        graph = erdos_renyi_graph(n, 0.3, seed=seed)
+        neighbors = {u: tuple(graph.neighbors(u)) for u in graph.nodes()}
+        est_a = {u: graph.degree(u) for u in graph.nodes()}
+        est_b = dict(est_a)
+        improve_estimate_naive(est_a, list(neighbors), neighbors, set())
+        improve_estimate_worklist(est_b, list(neighbors), neighbors, set())
+        assert est_a == est_b

@@ -1,0 +1,161 @@
+"""Tests for the round engine semantics (lockstep and peersim modes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConvergenceError, SimulationError
+from repro.sim.engine import RoundEngine
+from repro.sim.node import Process
+
+
+class Echo(Process):
+    """Sends one message to a target on init; records receptions."""
+
+    def __init__(self, pid, target=None, payloads=()):
+        super().__init__(pid)
+        self.target = target
+        self.payloads = list(payloads)
+        self.received = []
+
+    def on_init(self, ctx):
+        for payload in self.payloads:
+            ctx.send(self.target, payload)
+
+    def on_messages(self, ctx, messages):
+        self.received.extend(messages)
+
+
+class Chain(Process):
+    """Forwards a decremented counter to the next process."""
+
+    def __init__(self, pid, next_pid):
+        super().__init__(pid)
+        self.next_pid = next_pid
+        self.seen = []
+
+    def on_messages(self, ctx, messages):
+        for _, value in messages:
+            self.seen.append(value)
+            if value > 0:
+                ctx.send(self.next_pid, value - 1)
+
+
+class TestLockstep:
+    def test_message_delivered_next_round(self):
+        a = Echo(0, target=1, payloads=["hello"])
+        b = Echo(1)
+        engine = RoundEngine({0: a, 1: b}, mode="lockstep")
+        stats = engine.run()
+        assert b.received == [(0, "hello")]
+        assert stats.total_messages == 1
+        assert stats.execution_time == 1
+        assert stats.rounds_executed == 2  # send round + delivery round
+
+    def test_chain_takes_one_round_per_hop(self):
+        procs = {i: Chain(i, (i + 1) % 3) for i in range(3)}
+        starter = Echo(99, target=0, payloads=[5])
+        procs[99] = starter
+        engine = RoundEngine(procs, mode="lockstep")
+        stats = engine.run()
+        # value 5 hops 0->1->2->0->1->2, decrementing each time
+        assert stats.total_messages == 6
+        assert stats.execution_time == 6
+
+    def test_deterministic(self):
+        def run():
+            procs = {i: Chain(i, (i + 1) % 4) for i in range(4)}
+            procs[99] = Echo(99, target=0, payloads=[7])
+            engine = RoundEngine(procs, mode="lockstep")
+            return engine.run().sends_per_round
+
+        assert run() == run()
+
+
+class TestPeersim:
+    def test_randomized_order_seeded(self):
+        def run(seed):
+            procs = {i: Chain(i, (i + 1) % 5) for i in range(5)}
+            procs[99] = Echo(99, target=0, payloads=[10])
+            return RoundEngine(procs, mode="peersim", seed=seed).run()
+
+        a = run(1)
+        b = run(1)
+        assert a.sends_per_round == b.sends_per_round
+        # same total work regardless of order
+        assert a.total_messages == 11
+
+    def test_same_round_delivery_possible(self):
+        """A message can reach a process activated later the same round,
+        so a chain can complete in fewer rounds than hops."""
+        rounds = set()
+        for seed in range(25):
+            procs = {i: Chain(i, (i + 1) % 6) for i in range(6)}
+            procs[99] = Echo(99, target=0, payloads=[11])
+            stats = RoundEngine(procs, mode="peersim", seed=seed).run()
+            rounds.add(stats.execution_time)
+        # with 12 messages, lockstep would need 12 rounds; random order
+        # compresses some runs
+        assert min(rounds) < 12
+
+
+class TestEngineGuards:
+    def test_unknown_mode(self):
+        with pytest.raises(SimulationError):
+            RoundEngine({}, mode="warp")
+
+    def test_send_to_unknown_pid(self):
+        bad = Echo(0, target=42, payloads=["x"])
+        with pytest.raises(SimulationError):
+            RoundEngine({0: bad}).run()
+
+    def test_max_rounds_strict(self):
+        class Chatterbox(Process):
+            def on_init(self, ctx):
+                ctx.send(self.pid, "tick")
+
+            def on_messages(self, ctx, messages):
+                ctx.send(self.pid, "tick")
+
+        with pytest.raises(ConvergenceError):
+            RoundEngine({0: Chatterbox(0)}, max_rounds=5).run()
+
+    def test_max_rounds_nonstrict_flags_converged_false(self):
+        class Chatterbox(Process):
+            def on_init(self, ctx):
+                ctx.send(self.pid, "tick")
+
+            def on_messages(self, ctx, messages):
+                ctx.send(self.pid, "tick")
+
+        stats = RoundEngine(
+            {0: Chatterbox(0)}, max_rounds=5, strict=False
+        ).run()
+        assert not stats.converged
+
+    def test_quiescent_immediately_without_sends(self):
+        stats = RoundEngine({0: Echo(0), 1: Echo(1)}).run()
+        assert stats.execution_time == 0
+        assert stats.total_messages == 0
+
+    def test_process_list_accepted(self):
+        stats = RoundEngine([Echo(0), Echo(1)]).run()
+        assert stats.total_messages == 0
+
+
+class TestObservers:
+    def test_observer_called_every_round(self):
+        calls = []
+
+        def observer(round_number, engine):
+            calls.append(round_number)
+
+        procs = {0: Echo(0, target=1, payloads=["x"]), 1: Echo(1)}
+        RoundEngine(procs, mode="lockstep", observers=[observer]).run()
+        assert calls == [1, 2]
+
+    def test_stats_summary_readable(self):
+        procs = {0: Echo(0, target=1, payloads=["x"]), 1: Echo(1)}
+        stats = RoundEngine(procs).run()
+        text = stats.summary()
+        assert "rounds" in text and "messages" in text

@@ -1,0 +1,91 @@
+"""Tests for the exception hierarchy and simulation statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.sim.metrics import SimulationStats
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "GraphError",
+            "NodeNotFoundError",
+            "EdgeError",
+            "GeneratorError",
+            "DatasetError",
+            "GraphIOError",
+            "SimulationError",
+            "ProtocolError",
+            "ConfigurationError",
+            "ConvergenceError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_node_not_found_is_keyerror(self):
+        # so dict-style call sites can catch it naturally
+        assert issubclass(errors.NodeNotFoundError, KeyError)
+        err = errors.NodeNotFoundError(42)
+        assert err.node == 42
+        assert "42" in str(err)
+
+    def test_convergence_error_carries_rounds(self):
+        err = errors.ConvergenceError(17)
+        assert err.rounds == 17
+        assert "17" in str(err)
+
+    def test_one_catch_for_everything(self):
+        from repro.graph.graph import Graph
+
+        with pytest.raises(errors.ReproError):
+            Graph().neighbors(5)
+        with pytest.raises(errors.ReproError):
+            from repro.graph.generators import cycle_graph
+
+            cycle_graph(1)
+
+
+class TestSimulationStats:
+    def test_merge_send_accumulates(self):
+        stats = SimulationStats()
+        stats.merge_send(1)
+        stats.merge_send(1)
+        stats.merge_send(2)
+        assert stats.total_messages == 3
+        assert stats.sent_per_process == {1: 2, 2: 1}
+
+    def test_messages_avg_and_max(self):
+        stats = SimulationStats()
+        for _ in range(4):
+            stats.merge_send(0)
+        stats.merge_send(1)
+        assert stats.messages_avg == 2.5
+        assert stats.messages_max == 4
+
+    def test_empty_stats(self):
+        stats = SimulationStats()
+        assert stats.messages_avg == 0.0
+        assert stats.messages_max == 0
+        assert "converged=True" in stats.summary()
+
+    def test_extra_dict_is_per_instance(self):
+        a = SimulationStats()
+        b = SimulationStats()
+        a.extra["x"] = 1
+        assert b.extra == {}
+
+
+class TestCliFingerprint:
+    def test_fingerprint_command(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.graph.generators import figure1_example
+        from repro.graph.io import write_edge_list
+
+        path = tmp_path / "g.txt"
+        write_edge_list(figure1_example(), path)
+        assert main(["fingerprint", "--edges", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "k_max=3" in out
+        assert "fingerprint" in out

@@ -1,0 +1,149 @@
+"""Tests for generalized (weighted) core decomposition."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import batagelj_zaversnik
+from repro.errors import ConfigurationError
+from repro.generalized import (
+    compute_weighted_index,
+    run_distributed_weighted,
+    uniform_weights,
+    weighted_core_levels,
+)
+from repro.generalized.cores import random_integer_weights
+from repro.graph import generators as gen
+from repro.graph.graph import Graph
+
+from tests.conftest import graphs
+
+
+class TestWeightedIndex:
+    def test_empty(self):
+        assert compute_weighted_index([], 5.0) == 0.0
+        assert compute_weighted_index([(3.0, 1.0)], 0.0) == 0.0
+
+    def test_docstring_example(self):
+        assert compute_weighted_index([(3.0, 2.0), (2.0, 1.0)], 5.0) == 2.0
+
+    def test_cap_applies(self):
+        assert compute_weighted_index([(10.0, 10.0)], 4.0) == 4.0
+
+    def test_plateau_crossing(self):
+        # est 5 with weight 2: feasible t <= min(5, 2) = 2
+        assert compute_weighted_index([(5.0, 2.0)], 9.0) == 2.0
+
+    def test_unit_weights_reduce_to_compute_index(self):
+        from repro.core.compute_index import compute_index
+
+        estimates = [3, 1, 4, 2, 2, 5]
+        cap = 4
+        weighted = compute_weighted_index(
+            [(float(e), 1.0) for e in estimates], float(cap)
+        )
+        classic = compute_index(estimates, cap)
+        assert weighted == float(classic)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10), st.integers(1, 5)), max_size=12
+        ),
+        st.integers(0, 12),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_definition(self, pairs, cap):
+        """max t <= cap with support-weight(t) >= t, via brute force."""
+        result = compute_weighted_index(
+            [(float(e), float(w)) for e, w in pairs], float(cap)
+        )
+
+        def support(t: float) -> float:
+            return sum(w for e, w in pairs if e >= t)
+
+        # brute force over all meaningful candidate levels
+        candidates = {0.0}
+        for e, _ in pairs:
+            for t in (float(e), min(float(e), support(float(e)))):
+                if 0 < t <= cap and support(t) >= t:
+                    candidates.add(t)
+        # also the global crossing candidate min(cap, support(eps))
+        t = min(float(cap), support(1e-9))
+        if t > 0 and support(t) >= t:
+            candidates.add(t)
+        assert result == pytest.approx(max(candidates))
+
+
+class TestSequentialWeightedPeeling:
+    def test_single_edge(self):
+        g = Graph.from_edges([(0, 1)])
+        assert weighted_core_levels(g, {(0, 1): 2.0}) == {0: 2.0, 1: 2.0}
+
+    def test_unit_weights_match_classic(self):
+        g = gen.figure1_example()
+        levels = weighted_core_levels(g, uniform_weights(g))
+        classic = batagelj_zaversnik(g)
+        assert levels == {u: float(k) for u, k in classic.items()}
+
+    def test_isolated_nodes_level_zero(self):
+        g = gen.empty_graph(3)
+        assert weighted_core_levels(g, {}) == {0: 0.0, 1: 0.0, 2: 0.0}
+
+    def test_heavy_triangle_beats_light_star(self):
+        # triangle with weight 3 edges vs a star with weight 1 edges
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (3, 4), (3, 5)])
+        weights = {
+            (0, 1): 3.0, (1, 2): 3.0, (0, 2): 3.0,
+            (3, 4): 1.0, (3, 5): 1.0,
+        }
+        levels = weighted_core_levels(g, weights)
+        assert levels[0] == levels[1] == levels[2] == 6.0
+        assert levels[4] == levels[5] == 1.0
+
+    def test_missing_weight_rejected(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ConfigurationError):
+            weighted_core_levels(g, {})
+
+    def test_nonpositive_weight_rejected(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ConfigurationError):
+            weighted_core_levels(g, {(0, 1): 0.0})
+
+    def test_levels_monotone_under_weight_increase(self):
+        g = gen.cycle_graph(5)
+        low = weighted_core_levels(g, uniform_weights(g, 1.0))
+        high = weighted_core_levels(g, uniform_weights(g, 2.0))
+        assert all(high[u] >= low[u] for u in g.nodes())
+
+
+class TestDistributedWeighted:
+    @given(graphs(max_nodes=20), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_sequential(self, g, seed):
+        weights = random_integer_weights(g, seed=seed)
+        sequential = weighted_core_levels(g, weights)
+        distributed = run_distributed_weighted(g, weights, seed=seed)
+        assert distributed.levels == sequential
+
+    @given(graphs(max_nodes=18))
+    @settings(max_examples=25, deadline=None)
+    def test_unit_weights_match_classic_distributed(self, g):
+        weights = uniform_weights(g)
+        distributed = run_distributed_weighted(g, weights, seed=1)
+        classic = batagelj_zaversnik(g)
+        assert distributed.levels == {u: float(k) for u, k in classic.items()}
+
+    def test_lockstep_mode(self):
+        g = gen.powerlaw_cluster_graph(60, 3, 0.3, seed=3)
+        weights = random_integer_weights(g, seed=4)
+        result = run_distributed_weighted(g, weights, mode="lockstep")
+        assert result.levels == weighted_core_levels(g, weights)
+
+    def test_core_view(self):
+        g = gen.clique_graph(4)
+        result = run_distributed_weighted(g, uniform_weights(g), seed=0)
+        assert result.core(3.0) == {0, 1, 2, 3}
+        assert result.core(3.5) == set()

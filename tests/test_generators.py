@@ -1,0 +1,179 @@
+"""Tests for graph generators, including the paper's constructions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.batagelj_zaversnik import batagelj_zaversnik
+from repro.errors import GeneratorError
+from repro.graph import generators as gen
+
+
+class TestDeterministicStructures:
+    def test_empty_graph(self):
+        g = gen.empty_graph(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+
+    def test_path(self):
+        g = gen.path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_path_trivial_sizes(self):
+        assert gen.path_graph(0).num_nodes == 0
+        assert gen.path_graph(1).num_edges == 0
+
+    def test_cycle(self):
+        g = gen.cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(u) == 2 for u in g.nodes())
+        with pytest.raises(GeneratorError):
+            gen.cycle_graph(2)
+
+    def test_clique(self):
+        g = gen.clique_graph(5)
+        assert g.num_edges == 10
+        assert all(g.degree(u) == 4 for u in g.nodes())
+
+    def test_star(self):
+        g = gen.star_graph(7)
+        assert g.num_nodes == 8
+        assert g.degree(0) == 7
+        assert batagelj_zaversnik(g) == {u: (1 if g.num_edges else 0) for u in g.nodes()}
+
+    def test_grid_dimensions_and_degrees(self):
+        g = gen.grid_graph(4, 5)
+        assert g.num_nodes == 20
+        assert g.num_edges == 4 * 4 + 3 * 5  # horizontal + vertical
+        assert g.degree(0) == 2  # corner
+
+    def test_grid_periodic_regular(self):
+        g = gen.grid_graph(4, 4, periodic=True)
+        assert all(g.degree(u) == 4 for u in g.nodes())
+
+    def test_binary_tree(self):
+        g = gen.binary_tree_graph(3)
+        assert g.num_nodes == 15
+        assert g.num_edges == 14
+        assert max(batagelj_zaversnik(g).values()) == 1
+
+    def test_caveman_structure(self):
+        g = gen.caveman_graph(4, 5)
+        assert g.num_nodes == 20
+        core = batagelj_zaversnik(g)
+        # the ring rewiring keeps every node at degree 4, so the whole
+        # graph remains one (size-1)-core
+        assert set(core.values()) == {4}
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_determinism(self):
+        a = gen.erdos_renyi_graph(100, 0.05, seed=9)
+        b = gen.erdos_renyi_graph(100, 0.05, seed=9)
+        c = gen.erdos_renyi_graph(100, 0.05, seed=10)
+        assert a == b
+        assert a != c
+
+    def test_erdos_renyi_edge_count_in_expected_range(self):
+        g = gen.erdos_renyi_graph(200, 0.05, seed=1)
+        expected = 0.05 * 200 * 199 / 2
+        assert 0.6 * expected < g.num_edges < 1.4 * expected
+
+    def test_erdos_renyi_extreme_p(self):
+        assert gen.erdos_renyi_graph(20, 0.0, seed=0).num_edges == 0
+        assert gen.erdos_renyi_graph(10, 1.0, seed=0).num_edges == 45
+
+    def test_erdos_renyi_invalid(self):
+        with pytest.raises(GeneratorError):
+            gen.erdos_renyi_graph(10, 1.5)
+
+    def test_random_regular(self):
+        g = gen.random_regular_graph(30, 4, seed=3)
+        assert all(g.degree(u) == 4 for u in g.nodes())
+
+    def test_random_regular_invalid_parity(self):
+        with pytest.raises(GeneratorError):
+            gen.random_regular_graph(7, 3)
+
+    def test_preferential_attachment_degrees(self):
+        g = gen.preferential_attachment_graph(300, m=3, seed=5)
+        assert g.num_nodes == 300
+        # every arrival adds exactly m edges
+        assert g.num_edges == 3 + 297 * 3
+        assert min(g.degrees().values()) >= 3
+        # BA graphs have k_max == m
+        assert max(batagelj_zaversnik(g).values()) == 3
+
+    def test_powerlaw_cluster_valid(self):
+        g = gen.powerlaw_cluster_graph(200, m=3, p=0.5, seed=2)
+        assert g.num_nodes == 200
+        assert g.num_edges >= 3 + 150  # roughly m per arrival
+
+    def test_planted_partition_communities_denser(self):
+        g = gen.planted_partition_graph(6, 12, p_in=0.7, p_out=0.01, seed=4)
+        assert g.num_nodes == 72
+        intra = sum(
+            1 for u, v in g.edges() if u // 12 == v // 12
+        )
+        inter = g.num_edges - intra
+        assert intra > inter
+
+    def test_watts_strogatz_keeps_edge_count(self):
+        g = gen.watts_strogatz_graph(40, 4, 0.2, seed=6)
+        assert g.num_nodes == 40
+        assert g.num_edges == 40 * 2
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_generators_are_seed_deterministic(self, seed: int):
+        assert gen.preferential_attachment_graph(60, 2, seed=seed) == (
+            gen.preferential_attachment_graph(60, 2, seed=seed)
+        )
+
+
+class TestPaperConstructions:
+    def test_worst_case_degrees(self):
+        # "All nodes have degree 3, apart from the hub which has degree
+        # N-2 and node 1 which has degree 2."
+        n = 12
+        g = gen.worst_case_graph(n)
+        degrees = g.degrees()
+        assert degrees[n - 1] == n - 2  # hub (paper node N)
+        assert degrees[0] == 2  # paper node 1
+        others = [degrees[i] for i in range(1, n - 1)]
+        assert all(d == 3 for d in others)
+
+    def test_worst_case_hub_not_linked_to_n_minus_3(self):
+        n = 12
+        g = gen.worst_case_graph(n)
+        assert not g.has_edge(n - 1, n - 4)  # paper nodes N and N-3
+        assert g.has_edge(n - 4, n - 2)  # paper nodes N-3 and N-1
+
+    def test_worst_case_coreness_uniform_2(self):
+        for n in (5, 9, 16):
+            core = batagelj_zaversnik(gen.worst_case_graph(n))
+            assert set(core.values()) == {2}
+
+    def test_worst_case_minimum_size(self):
+        with pytest.raises(GeneratorError):
+            gen.worst_case_graph(4)
+
+    def test_figure1_has_three_shells(self):
+        core = batagelj_zaversnik(gen.figure1_example())
+        sizes = set(core.values())
+        assert sizes == {1, 2, 3}
+
+    def test_figure2_matches_paper_run(self):
+        g = gen.figure2_example()
+        assert g.num_nodes == 6
+        assert g.num_edges == 7
+        # "nodes 2, 3, 4 and 5 send the same value core = 3" -> degree 3
+        degrees = g.degrees()
+        assert degrees[0] == degrees[5] == 1
+        assert all(degrees[u] == 3 for u in (1, 2, 3, 4))
+        # "Finally, core = 2 for v = 2,3,4,5 and core = 1 for v = 1,6"
+        core = batagelj_zaversnik(g)
+        assert core == {0: 1, 1: 2, 2: 2, 3: 2, 4: 2, 5: 1}

@@ -1,0 +1,90 @@
+"""Tests for the epidemic aggregation substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gossip import AVERAGE, MAXIMUM, MINIMUM, run_aggregation
+from repro.gossip.aggregation import PushSumProcess
+from repro.sim.engine import RoundEngine
+
+
+class TestFoldGossip:
+    def test_max_reaches_everyone(self):
+        values = {i: float(i) for i in range(64)}
+        outcome = run_aggregation(values, kind=MAXIMUM, seed=3)
+        assert all(v == 63.0 for v in outcome.values.values())
+
+    def test_min_reaches_everyone(self):
+        values = {i: float(i) for i in range(50)}
+        outcome = run_aggregation(values, kind=MINIMUM, seed=5)
+        assert all(v == 0.0 for v in outcome.values.values())
+
+    def test_logarithmic_rounds(self):
+        """Epidemic spreading completes in O(log N) rounds: the default
+        horizon of ~4 log2 N + 6 is enough even for 256 participants."""
+        values = {i: 0.0 for i in range(256)}
+        values[17] = 100.0
+        outcome = run_aggregation(values, kind=MAXIMUM, seed=1)
+        assert outcome.spread == 0.0
+        assert outcome.rounds <= 4 * 8 + 10
+
+
+class TestPushSumAveraging:
+    def test_average_converges_to_mean(self):
+        values = {i: float(i % 10) for i in range(40)}
+        true_mean = sum(values.values()) / len(values)
+        outcome = run_aggregation(values, kind=AVERAGE, seed=2, rounds=60)
+        assert outcome.mean == pytest.approx(true_mean, abs=0.05)
+        assert all(
+            v == pytest.approx(true_mean, abs=0.2)
+            for v in outcome.values.values()
+        )
+
+    def test_mass_conservation_exact(self):
+        """Σ sum_i and Σ weight_i are invariant once all mass lands."""
+        values = {i: float(i) for i in range(30)}
+        processes = {
+            pid: PushSumProcess(pid, value, peers=sorted(values), rounds=25, seed=pid)
+            for pid, value in values.items()
+        }
+        RoundEngine(processes, mode="peersim", seed=9).run()
+        assert sum(p.sum for p in processes.values()) == pytest.approx(
+            sum(values.values()), rel=1e-12
+        )
+        assert sum(p.weight for p in processes.values()) == pytest.approx(
+            len(values), rel=1e-12
+        )
+
+    def test_estimates_tighten_with_more_rounds(self):
+        values = {i: float(i) for i in range(32)}
+        short = run_aggregation(values, kind=AVERAGE, seed=4, rounds=6)
+        long = run_aggregation(values, kind=AVERAGE, seed=4, rounds=60)
+        assert long.spread <= short.spread
+
+
+class TestEdgeCases:
+    def test_single_participant(self):
+        outcome = run_aggregation({0: 5.0}, kind=MAXIMUM)
+        assert outcome.values == {0: 5.0}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_aggregation({})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_aggregation({0: 1.0}, kind="median")
+
+    def test_deterministic_given_seed(self):
+        values = {i: float(i) for i in range(20)}
+        a = run_aggregation(values, kind=AVERAGE, seed=7)
+        b = run_aggregation(values, kind=AVERAGE, seed=7)
+        assert a.values == b.values
+        assert a.total_messages == b.total_messages
+
+    def test_explicit_round_horizon_limits_run(self):
+        values = {i: float(i) for i in range(16)}
+        outcome = run_aggregation(values, kind=MAXIMUM, rounds=2, seed=0)
+        assert outcome.rounds <= 5

@@ -1,0 +1,189 @@
+"""Unit tests for the Graph structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EdgeError, GraphError, NodeNotFoundError
+from repro.graph.graph import Graph
+
+from tests.conftest import graphs
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert list(g.nodes()) == []
+        assert list(g.edges()) == []
+
+    def test_from_edges_basic(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_from_edges_dedups_and_drops_self_loops(self):
+        g = Graph.from_edges([(0, 1), (1, 0), (0, 1), (2, 2)])
+        assert g.num_edges == 1
+        assert g.has_node(2)
+        assert g.degree(2) == 0
+
+    def test_from_edges_num_nodes_creates_isolated(self):
+        g = Graph.from_edges([(0, 1)], num_nodes=5)
+        assert g.num_nodes == 5
+        assert g.degree(4) == 0
+
+    def test_from_adjacency_symmetrises(self):
+        g = Graph.from_adjacency({0: [1, 2], 1: [], 2: []})
+        assert g.has_edge(1, 0)
+        assert g.has_edge(2, 0)
+        assert g.num_edges == 2
+
+    def test_non_integer_node_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_node("a")  # type: ignore[arg-type]
+
+    def test_name_carried(self):
+        g = Graph.from_edges([(0, 1)], name="demo")
+        assert g.name == "demo"
+        assert "demo" in repr(g)
+
+
+class TestMutation:
+    def test_add_edge_strict_duplicate_raises(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(EdgeError):
+            g.add_edge(0, 1)
+
+    def test_add_edge_strict_self_loop_raises(self):
+        g = Graph()
+        with pytest.raises(EdgeError):
+            g.add_edge(3, 3)
+
+    def test_add_edge_nonstrict_returns_false(self):
+        g = Graph.from_edges([(0, 1)])
+        assert g.add_edge(0, 1, strict=False) is False
+        assert g.add_edge(1, 2, strict=False) is True
+        assert g.num_edges == 2
+
+    def test_remove_edge(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 1
+        with pytest.raises(EdgeError):
+            g.remove_edge(0, 1)
+
+    def test_remove_node_updates_edges(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 2)])
+        g.remove_node(0)
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+        assert not g.has_node(0)
+        with pytest.raises(NodeNotFoundError):
+            g.remove_node(0)
+
+    def test_degree_unknown_node_raises(self):
+        g = Graph()
+        with pytest.raises(NodeNotFoundError):
+            g.degree(9)
+
+
+class TestQueries:
+    def test_degrees_and_extremes(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert g.degrees() == {0: 3, 1: 1, 2: 1, 3: 1}
+        assert g.max_degree() == 3
+        assert g.min_degree() == 1
+
+    def test_empty_extremes(self):
+        g = Graph()
+        assert g.max_degree() == 0
+        assert g.min_degree() == 0
+
+    def test_edges_each_once(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        edges = sorted(g.edges())
+        assert edges == [(0, 1), (0, 2), (1, 2)]
+
+    def test_dunder_protocol(self):
+        g = Graph.from_edges([(0, 1)])
+        assert len(g) == 2
+        assert 0 in g and 5 not in g
+        assert sorted(g) == [0, 1]
+
+    def test_equality_is_structural(self):
+        a = Graph.from_edges([(0, 1), (1, 2)])
+        b = Graph.from_edges([(1, 2), (0, 1)])
+        assert a == b
+        b.add_edge(0, 2)
+        assert a != b
+
+
+class TestDerivedGraphs:
+    def test_subgraph_induced(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+        sub = g.subgraph([0, 1, 2])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2  # (0,1), (1,2); (0,3)/(2,3) dropped
+
+    def test_subgraph_missing_node_raises(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(NodeNotFoundError):
+            g.subgraph([0, 7])
+
+    def test_copy_independent(self):
+        g = Graph.from_edges([(0, 1)])
+        dup = g.copy()
+        dup.add_edge(1, 2)
+        assert g.num_edges == 1
+        assert dup.num_edges == 2
+
+    def test_relabeled_compacts_ids(self):
+        g = Graph.from_edges([(10, 20), (20, 30)])
+        compact, mapping = g.relabeled()
+        assert sorted(compact.nodes()) == [0, 1, 2]
+        assert compact.num_edges == 2
+        assert mapping == {10: 0, 20: 1, 30: 2}
+
+    def test_shuffled_preserves_topology(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        shuffled = g.shuffled(seed=3)
+        assert shuffled.num_nodes == g.num_nodes
+        assert shuffled.num_edges == g.num_edges
+        assert sorted(
+            sorted(d for d in shuffled.degrees().values())
+        ) == sorted(sorted(d for d in g.degrees().values()))
+
+
+class TestGraphProperties:
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_handshake_lemma(self, g: Graph):
+        assert sum(g.degrees().values()) == 2 * g.num_edges
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_edges_iterate_once_and_exist(self, g: Graph):
+        seen = set()
+        for u, v in g.edges():
+            assert u < v
+            assert g.has_edge(u, v) and g.has_edge(v, u)
+            assert (u, v) not in seen
+            seen.add((u, v))
+        assert len(seen) == g.num_edges
+
+    @given(graphs(), st.integers(0, 2**32))
+    @settings(max_examples=25, deadline=None)
+    def test_relabel_then_shuffle_keeps_degree_multiset(self, g: Graph, seed: int):
+        compact, _ = g.relabeled()
+        shuffled = compact.shuffled(seed=seed)
+        assert sorted(compact.degrees().values()) == sorted(
+            shuffled.degrees().values()
+        )

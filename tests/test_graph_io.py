@@ -1,0 +1,100 @@
+"""Tests for SNAP edge-list I/O."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.errors import GraphIOError
+from repro.graph import generators as gen
+from repro.graph.io import parse_edge_lines, read_edge_list, write_edge_list
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self):
+        lines = [
+            "# Directed graph: web-Example.txt",
+            "# Nodes: 3 Edges: 2",
+            "",
+            "% percent comments too",
+            "0\t1",
+            "1\t2",
+        ]
+        assert list(parse_edge_lines(lines)) == [(0, 1), (1, 2)]
+
+    def test_whitespace_variants(self):
+        assert list(parse_edge_lines(["0 1", "2   3", " 4\t5 "])) == [
+            (0, 1), (2, 3), (4, 5),
+        ]
+
+    def test_extra_fields_tolerated(self):
+        # some SNAP files carry weights/timestamps in a third column
+        assert list(parse_edge_lines(["0 1 0.5"])) == [(0, 1)]
+
+    def test_single_field_rejected(self):
+        with pytest.raises(GraphIOError):
+            list(parse_edge_lines(["42"]))
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(GraphIOError):
+            list(parse_edge_lines(["a b"]))
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        graph = gen.powerlaw_cluster_graph(80, 3, 0.2, seed=1)
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path, relabel=False)
+        assert loaded == graph
+
+    def test_read_relabels_sparse_ids(self, tmp_path):
+        path = tmp_path / "sparse.txt"
+        path.write_text("1000\t2000\n2000\t5\n")
+        graph = read_edge_list(path)
+        assert sorted(graph.nodes()) == [0, 1, 2]
+        assert graph.num_edges == 2
+
+    def test_directed_input_symmetrised(self, tmp_path):
+        path = tmp_path / "directed.txt"
+        path.write_text("0\t1\n1\t0\n1\t2\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2  # paper: both directions -> one edge
+
+    def test_self_loops_dropped_but_node_kept(self, tmp_path):
+        path = tmp_path / "loops.txt"
+        path.write_text("0\t0\n0\t1\n")
+        graph = read_edge_list(path, relabel=False)
+        assert graph.num_edges == 1
+        assert graph.has_node(0)
+
+    def test_gzip_support(self, tmp_path):
+        path = tmp_path / "graph.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("0\t1\n1\t2\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_header_contents(self, tmp_path):
+        graph = gen.path_graph(3, name="demo")
+        path = tmp_path / "out.txt"
+        write_edge_list(graph, path)
+        text = path.read_text()
+        assert text.startswith("# Undirected graph: demo")
+        assert "# Nodes: 3 Edges: 2" in text
+
+    def test_headerless_write(self, tmp_path):
+        graph = gen.path_graph(3)
+        path = tmp_path / "bare.txt"
+        write_edge_list(graph, path, header=False)
+        assert path.read_text() == "0\t1\n1\t2\n"
+
+    def test_coreness_preserved_through_roundtrip(self, tmp_path):
+        from repro.baselines import batagelj_zaversnik
+
+        graph = gen.worst_case_graph(15)
+        path = tmp_path / "worst.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path, relabel=False)
+        assert batagelj_zaversnik(loaded) == batagelj_zaversnik(graph)

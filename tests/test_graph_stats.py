@@ -1,0 +1,129 @@
+"""Tests for graph statistics (Table 1's structural columns)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import GraphError
+from repro.graph import generators as gen
+from repro.graph.graph import Graph
+from repro.graph.stats import (
+    average_clustering,
+    bfs_distances,
+    compute_stats,
+    connected_components,
+    diameter_double_sweep,
+    diameter_exact,
+    eccentricity,
+    largest_component,
+)
+
+from tests.conftest import connected_graphs
+
+
+class TestTraversal:
+    def test_bfs_distances_on_path(self):
+        g = gen.path_graph(5)
+        assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_bfs_restricted_to_component(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        assert set(bfs_distances(g, 0)) == {0, 1}
+
+    def test_eccentricity(self):
+        g = gen.path_graph(5)
+        ecc, far = eccentricity(g, 0)
+        assert ecc == 4 and far == 4
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = gen.cycle_graph(5)
+        assert len(connected_components(g)) == 1
+
+    def test_multiple_sorted_by_size(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (10, 11)])
+        comps = connected_components(g)
+        assert [len(c) for c in comps] == [3, 2]
+
+    def test_isolated_nodes_are_components(self):
+        g = gen.empty_graph(3)
+        assert len(connected_components(g)) == 3
+
+    def test_largest_component_subgraph(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (10, 11)])
+        big = largest_component(g)
+        assert sorted(big.nodes()) == [0, 1, 2]
+
+
+class TestDiameter:
+    def test_exact_on_path(self):
+        assert diameter_exact(gen.path_graph(9)) == 8
+
+    def test_exact_on_cycle(self):
+        assert diameter_exact(gen.cycle_graph(10)) == 5
+
+    def test_exact_on_worst_case(self):
+        # the paper: constant diameter 3 regardless of N
+        assert diameter_exact(gen.worst_case_graph(30)) == 3
+
+    def test_exact_ignores_smaller_components(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (10, 11)])
+        assert diameter_exact(g) == 3
+
+    def test_exact_guard(self):
+        with pytest.raises(GraphError):
+            diameter_exact(gen.path_graph(50), limit=10)
+
+    def test_double_sweep_exact_on_trees(self):
+        g = gen.binary_tree_graph(4)
+        assert diameter_double_sweep(g, seed=0) == diameter_exact(g)
+
+    @given(connected_graphs(max_nodes=20))
+    @settings(max_examples=30, deadline=None)
+    def test_double_sweep_is_lower_bound(self, g):
+        assert diameter_double_sweep(g, seed=1) <= diameter_exact(g)
+
+    def test_empty_graph(self):
+        assert diameter_double_sweep(Graph()) == 0
+
+
+class TestClustering:
+    def test_clique_is_one(self):
+        assert average_clustering(gen.clique_graph(6)) == pytest.approx(1.0)
+
+    def test_tree_is_zero(self):
+        assert average_clustering(gen.binary_tree_graph(3)) == 0.0
+
+    def test_sampling_close_to_exact(self):
+        g = gen.powerlaw_cluster_graph(300, 3, 0.5, seed=2)
+        exact = average_clustering(g, sample=None)
+        sampled = average_clustering(g, sample=150, seed=3)
+        assert sampled == pytest.approx(exact, abs=0.15)
+
+
+class TestComputeStats:
+    def test_full_summary(self):
+        from repro.baselines import batagelj_zaversnik
+
+        g = gen.figure1_example()
+        stats = compute_stats(g, coreness=batagelj_zaversnik(g))
+        assert stats.num_nodes == g.num_nodes
+        assert stats.num_edges == g.num_edges
+        assert stats.coreness_max == 3
+        assert stats.diameter_is_exact
+        assert stats.avg_degree == pytest.approx(
+            2 * g.num_edges / g.num_nodes
+        )
+
+    def test_without_coreness(self):
+        stats = compute_stats(gen.path_graph(4))
+        assert stats.coreness_max is None
+        assert "-" in stats.as_row()
+
+    def test_large_graph_uses_double_sweep(self):
+        g = gen.grid_graph(40, 40)  # 1600 nodes > limit below
+        stats = compute_stats(g, exact_diameter_limit=100)
+        assert not stats.diameter_is_exact
+        assert stats.diameter >= 40

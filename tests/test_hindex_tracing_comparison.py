@@ -1,0 +1,134 @@
+"""Tests for the h-index baseline, run tracing and ranking comparison."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.comparison import (
+    agreement_fraction,
+    kendall_tau,
+    ranking_from_scores,
+    top_k_jaccard,
+)
+from repro.baselines import batagelj_zaversnik
+from repro.baselines.hindex import hindex_iteration
+from repro.core.one_to_one import OneToOneConfig, build_node_processes
+from repro.errors import ConfigurationError
+from repro.graph import generators as gen
+from repro.sim.engine import RoundEngine
+from repro.sim.tracing import TraceRecorder
+
+from tests.conftest import graphs
+
+
+class TestHIndexIteration:
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_converges_to_coreness(self, g):
+        values, _ = hindex_iteration(g)
+        assert values == batagelj_zaversnik(g)
+
+    def test_clique_one_sweep(self):
+        values, sweeps = hindex_iteration(gen.clique_graph(5))
+        assert set(values.values()) == {4}
+        assert sweeps == 1
+
+    def test_sweeps_track_lockstep_rounds(self):
+        """Jacobi sweeps == synchronous protocol rounds (same operator)."""
+        from repro.core.one_to_one import run_one_to_one
+
+        g = gen.worst_case_graph(15)
+        _, sweeps = hindex_iteration(g)
+        lockstep = run_one_to_one(
+            g, OneToOneConfig(mode="lockstep", optimize_sends=False)
+        )
+        # sweeps counts until no change; rounds_executed additionally
+        # includes the initial broadcast round
+        assert abs(sweeps - lockstep.stats.rounds_executed) <= 1
+
+    def test_isolated_nodes(self):
+        values, _ = hindex_iteration(gen.empty_graph(3))
+        assert values == {0: 0, 1: 0, 2: 0}
+
+
+class TestTraceRecorder:
+    def _run(self, graph, reference=None):
+        recorder = TraceRecorder(reference=reference)
+        processes = build_node_processes(graph, optimize_sends=False)
+        RoundEngine(
+            processes, mode="lockstep", observers=[recorder]
+        ).run()
+        return recorder
+
+    def test_rounds_recorded(self):
+        g = gen.figure2_example()
+        recorder = self._run(g)
+        assert recorder.rounds == 4  # 3 send rounds + quiet round
+        assert recorder.quiet_rounds() == 1
+        assert recorder.snapshots[0].messages_sent == 2 * g.num_edges
+
+    def test_error_tracking(self):
+        g = gen.figure2_example()
+        truth = batagelj_zaversnik(g)
+        recorder = self._run(g, reference=truth)
+        errors = [snap.total_error for snap in recorder.snapshots]
+        assert errors[0] > 0
+        assert errors[-1] == 0
+        assert all(a >= b for a, b in zip(errors, errors[1:]))
+
+    def test_changed_counts(self):
+        g = gen.figure2_example()
+        recorder = self._run(g)
+        # round 1 initialises everyone; rounds 2 and 3 change 2 nodes each
+        assert recorder.snapshots[0].estimates_changed == g.num_nodes
+        assert recorder.snapshots[1].estimates_changed == 2
+        assert recorder.snapshots[2].estimates_changed == 2
+
+    def test_json_roundtrip(self):
+        g = gen.figure1_example()
+        recorder = self._run(g, reference=batagelj_zaversnik(g))
+        clone = TraceRecorder.from_json(recorder.to_json())
+        assert clone.snapshots == recorder.snapshots
+
+
+class TestComparison:
+    def test_agreement_fraction(self):
+        assert agreement_fraction({0: 1, 1: 2}, {0: 1, 1: 3}) == 0.5
+        assert agreement_fraction({}, {}) == 1.0
+
+    def test_agreement_requires_same_nodes(self):
+        with pytest.raises(ConfigurationError):
+            agreement_fraction({0: 1}, {1: 1})
+
+    def test_ranking(self):
+        assert ranking_from_scores({0: 1.0, 1: 5.0, 2: 5.0}) == [1, 2, 0]
+
+    def test_top_k_jaccard(self):
+        a = {0: 3.0, 1: 2.0, 2: 1.0}
+        b = {0: 3.0, 1: 1.0, 2: 2.0}
+        assert top_k_jaccard(a, b, 1) == 1.0
+        assert top_k_jaccard(a, b, 2) == pytest.approx(1 / 3)
+        with pytest.raises(ConfigurationError):
+            top_k_jaccard(a, b, 0)
+
+    def test_kendall_tau_extremes(self):
+        a = {0: 1.0, 1: 2.0, 2: 3.0}
+        assert kendall_tau(a, a) == 1.0
+        reversed_scores = {0: 3.0, 1: 2.0, 2: 1.0}
+        assert kendall_tau(a, reversed_scores) == -1.0
+
+    def test_kendall_tau_ties_contribute_zero(self):
+        a = {0: 1.0, 1: 1.0, 2: 2.0}
+        b = {0: 1.0, 1: 2.0, 2: 3.0}
+        # pair (0,1) tied in a -> zero; pairs (0,2), (1,2) concordant
+        assert kendall_tau(a, b) == pytest.approx(2 / 3)
+
+    def test_coreness_vs_degree_correlate_positively(self):
+        # the collaboration stand-in has a wide coreness spectrum
+        from repro.datasets import load
+
+        g = load("astro", scale=0.06, seed=6)
+        coreness = {u: float(k) for u, k in batagelj_zaversnik(g).items()}
+        degrees = {u: float(g.degree(u)) for u in g.nodes()}
+        assert kendall_tau(coreness, degrees) > 0.3

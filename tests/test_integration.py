@@ -1,0 +1,147 @@
+"""Integration tests: multi-module end-to-end scenarios.
+
+Each test walks a realistic pipeline across several packages — the
+scenarios a downstream user of the library would actually run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    OneToManyConfig,
+    OneToOneConfig,
+    assign,
+    decompose,
+    read_edge_list,
+    run_one_to_many,
+    run_one_to_one,
+    write_edge_list,
+)
+from repro.analysis.error_traces import run_with_error_trace
+from repro.baselines import batagelj_zaversnik
+from repro.core import theory
+from repro.datasets import load
+from repro.graph import generators as gen
+from repro.pregel.kcore import run_pregel_kcore
+from repro.streaming import DynamicKCore
+
+
+class TestFileToDecompositionPipeline:
+    def test_generate_write_read_decompose(self, tmp_path):
+        """Generator -> SNAP file -> loader -> all algorithms agree."""
+        original = load("condmat", scale=0.1, seed=3)
+        path = tmp_path / "condmat.txt"
+        write_edge_list(original, path)
+        graph = read_edge_list(path)
+
+        truth = decompose(graph, "bz").coreness
+        assert decompose(graph, "one-to-one", seed=1).coreness == truth
+        assert (
+            decompose(graph, "one-to-many", num_hosts=7, seed=1).coreness
+            == truth
+        )
+        assert decompose(graph, "pregel", num_workers=3).coreness == truth
+
+
+class TestLiveSystemScenario:
+    """The paper's one-to-one story: overlay, inspect, churn, re-inspect."""
+
+    def test_inspect_churn_reinspect(self):
+        overlay = load("gnutella", scale=0.1, seed=4)
+        first = run_one_to_one(overlay, OneToOneConfig(seed=1))
+        assert theory.check_locality(overlay, first.coreness)
+
+        # churn: the overlay loses one hub edge and gains two links
+        engine = DynamicKCore(overlay)
+        hub = max(overlay.nodes(), key=overlay.degree)
+        neighbor = sorted(overlay.neighbors(hub))[0]
+        engine.delete_edge(hub, neighbor)
+        nodes = sorted(overlay.nodes())
+        added = 0
+        for u in nodes:
+            v = (u + 17) % len(nodes)
+            if u != v and not engine.graph.has_node(u):
+                continue
+            if u != v and not engine.graph.has_edge(u, v):
+                engine.insert_edge(u, v)
+                added += 1
+                if added == 2:
+                    break
+
+        # re-run the distributed protocol on the new topology; the
+        # incremental engine must agree with it
+        second = run_one_to_one(engine.graph, OneToOneConfig(seed=2))
+        assert second.coreness == engine.coreness
+
+    def test_spreaders_survive_partitioning(self):
+        """Top spreaders identified one-to-one == identified one-to-many."""
+        overlay = load("slashdot", scale=0.15, seed=9)
+        solo = run_one_to_one(overlay, OneToOneConfig(seed=3))
+        sharded = run_one_to_many(
+            overlay, OneToManyConfig(num_hosts=12, seed=3)
+        )
+        assert solo.top_spreaders(10) == sharded.top_spreaders(10)
+
+
+class TestClusterScenario:
+    """The paper's one-to-many story at increasing levels of realism."""
+
+    def test_custom_assignment_end_to_end(self):
+        graph = load("amazon", scale=0.1, seed=5)
+        truth = batagelj_zaversnik(graph)
+        assignment = assign(graph, 6, policy="bfs", seed=2)
+        for communication in ("broadcast", "p2p"):
+            run = run_one_to_many(
+                graph,
+                OneToManyConfig(num_hosts=6, communication=communication, seed=4),
+                assignment=assignment,
+            )
+            assert run.coreness == truth
+
+    def test_pregel_and_hosts_report_consistent_traffic_economics(self):
+        """More partitions -> more boundary traffic, in both frameworks."""
+        graph = load("condmat", scale=0.1, seed=6)
+        host_cut = []
+        for parts in (2, 12):
+            assignment = assign(graph, parts, policy="modulo")
+            host_cut.append(assignment.cut_edges(graph))
+            pregel = run_pregel_kcore(graph, num_workers=parts)
+            host_cut.append(pregel.stats.extra["inter_worker_messages"])
+        cut2, inter2, cut12, inter12 = host_cut
+        assert cut12 >= cut2
+        assert inter12 >= inter2
+
+
+class TestApproximationScenario:
+    def test_error_trace_guides_round_budget(self):
+        """Pick a budget from the Fig-4 trace, then verify the budgeted
+        run achieves the predicted accuracy."""
+        graph = load("roadnet", scale=0.4, seed=7)
+        truth = batagelj_zaversnik(graph)
+        _, trace = run_with_error_trace(
+            graph, OneToOneConfig(seed=5), truth=truth
+        )
+        budget = trace.rounds_to_max_error(1)
+        assert budget is not None
+
+        from repro.core.termination import run_fixed_rounds
+
+        approx = run_fixed_rounds(
+            graph, rounds=budget, config=OneToOneConfig(seed=5)
+        )
+        worst = max(approx.coreness[u] - truth[u] for u in truth)
+        assert worst <= 1
+
+
+class TestCliPipeline:
+    def test_cli_matches_library(self, tmp_path, capsys):
+        from repro.cli import main
+
+        graph = gen.figure1_example()
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path)
+        assert main(["decompose", "--edges", str(path), "--algorithm", "bz"]) == 0
+        out = capsys.readouterr().out
+        result = decompose(read_edge_list(path), "bz")
+        assert f"k_max={result.max_coreness}" in out

@@ -1,0 +1,188 @@
+"""Tests for Algorithms 3-5 (one-to-many protocol)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import batagelj_zaversnik
+from repro.core.assignment import assign
+from repro.core.one_to_many import (
+    KCoreHost,
+    OneToManyConfig,
+    build_host_processes,
+    run_one_to_many,
+)
+from repro.errors import ConfigurationError
+from repro.graph import generators as gen
+from repro.graph.graph import Graph
+
+from tests.conftest import graphs
+
+
+class TestCorrectness:
+    @given(graphs(), st.integers(1, 9), st.integers(0, 2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_oracle_broadcast(self, g: Graph, hosts: int, seed: int):
+        result = run_one_to_many(
+            g, OneToManyConfig(num_hosts=hosts, seed=seed)
+        )
+        assert result.coreness == batagelj_zaversnik(g)
+
+    @given(graphs(), st.integers(1, 9), st.integers(0, 2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_oracle_p2p(self, g: Graph, hosts: int, seed: int):
+        result = run_one_to_many(
+            g,
+            OneToManyConfig(num_hosts=hosts, communication="p2p", seed=seed),
+        )
+        assert result.coreness == batagelj_zaversnik(g)
+
+    def test_single_host_degenerates_to_sequential(self, figure1):
+        """|H| = 1: everything is internal, zero estimates cross the wire."""
+        result = run_one_to_many(figure1, OneToManyConfig(num_hosts=1))
+        assert result.coreness == batagelj_zaversnik(figure1)
+        assert result.stats.extra["estimates_sent_total"] == 0
+        assert result.stats.total_messages == 0
+
+    def test_one_host_per_node_mirrors_one_to_one(self, figure1):
+        """|H| = N is the paper's 'one-to-one as special case' remark."""
+        result = run_one_to_many(
+            figure1, OneToManyConfig(num_hosts=figure1.num_nodes)
+        )
+        assert result.coreness == batagelj_zaversnik(figure1)
+
+    def test_more_hosts_than_nodes(self):
+        g = gen.cycle_graph(5)
+        result = run_one_to_many(g, OneToManyConfig(num_hosts=20))
+        assert result.coreness == batagelj_zaversnik(g)
+
+    @given(st.sampled_from(["modulo", "block", "random", "bfs"]))
+    @settings(max_examples=8, deadline=None)
+    def test_all_assignment_policies_correct(self, policy: str):
+        g = gen.powerlaw_cluster_graph(150, 3, 0.3, seed=21)
+        result = run_one_to_many(
+            g, OneToManyConfig(num_hosts=6, policy=policy, seed=4)
+        )
+        assert result.coreness == batagelj_zaversnik(g)
+
+    def test_naive_improve_matches_worklist(self, small_social):
+        naive = run_one_to_many(
+            small_social,
+            OneToManyConfig(num_hosts=5, use_worklist=False, seed=9),
+        )
+        fast = run_one_to_many(
+            small_social,
+            OneToManyConfig(num_hosts=5, use_worklist=True, seed=9),
+        )
+        assert naive.coreness == fast.coreness
+        assert (
+            naive.stats.extra["estimates_sent_total"]
+            == fast.stats.extra["estimates_sent_total"]
+        )
+
+    def test_lockstep_mode(self, small_social):
+        result = run_one_to_many(
+            small_social, OneToManyConfig(num_hosts=4, mode="lockstep")
+        )
+        assert result.coreness == batagelj_zaversnik(small_social)
+
+
+class TestOverheadAccounting:
+    def test_broadcast_cheaper_than_p2p(self, medium_social):
+        broadcast = run_one_to_many(
+            medium_social, OneToManyConfig(num_hosts=16, seed=3)
+        )
+        p2p = run_one_to_many(
+            medium_social,
+            OneToManyConfig(num_hosts=16, communication="p2p", seed=3),
+        )
+        assert (
+            broadcast.stats.extra["estimates_sent_per_node"]
+            <= p2p.stats.extra["estimates_sent_per_node"]
+        )
+
+    def test_broadcast_overhead_small(self, medium_social):
+        """Figure 5 (left): broadcast overhead stays below ~3 per node."""
+        for hosts in (2, 8, 32):
+            run = run_one_to_many(
+                medium_social, OneToManyConfig(num_hosts=hosts, seed=1)
+            )
+            assert run.stats.extra["estimates_sent_per_node"] < 3.0
+
+    def test_p2p_overhead_grows_with_hosts(self, medium_social):
+        """Figure 5 (right): p2p overhead increases with the host count."""
+        few = run_one_to_many(
+            medium_social,
+            OneToManyConfig(num_hosts=2, communication="p2p", seed=1),
+        )
+        many = run_one_to_many(
+            medium_social,
+            OneToManyConfig(num_hosts=64, communication="p2p", seed=1),
+        )
+        assert (
+            many.stats.extra["estimates_sent_per_node"]
+            > few.stats.extra["estimates_sent_per_node"]
+        )
+
+    def test_extras_populated(self, small_social):
+        run = run_one_to_many(small_social, OneToManyConfig(num_hosts=4))
+        extra = run.stats.extra
+        assert extra["num_hosts"] == 4
+        assert extra["estimates_sent_total"] >= 0
+        assert extra["cut_edges"] >= 0
+        assert extra["estimates_sent_per_node"] == pytest.approx(
+            extra["estimates_sent_total"] / small_social.num_nodes
+        )
+
+
+class TestHostProcess:
+    def test_border_and_neighbor_hosts(self):
+        # path 0-1-2-3 over two hosts via modulo: host0={0,2}, host1={1,3}
+        g = gen.path_graph(4)
+        assignment = assign(g, 2, policy="modulo")
+        hosts = build_host_processes(g, assignment)
+        h0, h1 = hosts[0], hosts[1]
+        assert h0.owned == (0, 2)
+        assert h1.owned == (1, 3)
+        assert h0.neighbor_hosts == (1,)
+        assert h1.neighbor_hosts == (0,)
+        # all of host0's nodes border host1 (0-1, 2-1, 2-3)
+        assert h0.border[1] == frozenset({0, 2})
+
+    def test_unknown_communication_policy(self):
+        g = gen.path_graph(3)
+        assignment = assign(g, 2)
+        with pytest.raises(ConfigurationError):
+            build_host_processes(g, assignment, communication="smoke-signals")
+
+    def test_internal_cascade_localises_updates(self):
+        """A clique fully inside one host settles before any send: the
+        initial broadcast already carries final values (Algorithm 4)."""
+        g = gen.clique_graph(6)
+        g.add_edge(5, 6)
+        g.add_edge(6, 7)
+        assignment = assign(g, 2, policy="block")  # host0: 0-3, host1: 4-7
+        result = run_one_to_many(
+            g,
+            OneToManyConfig(num_hosts=2, policy="block", mode="lockstep"),
+            assignment=assignment,
+        )
+        assert result.coreness == batagelj_zaversnik(g)
+        # convergence is fast thanks to the cascade
+        assert result.stats.rounds_executed <= 5
+
+    def test_rounds_comparable_to_one_to_one(self, medium_social):
+        """Section 5.2: 'the number of rounds needed ... was equivalent
+        to that of the one-to-one version' (internal cascade can only
+        help, never hurt)."""
+        from repro.core.one_to_one import OneToOneConfig, run_one_to_one
+
+        one = run_one_to_one(
+            medium_social, OneToOneConfig(mode="lockstep", optimize_sends=False)
+        )
+        many = run_one_to_many(
+            medium_social, OneToManyConfig(num_hosts=8, mode="lockstep")
+        )
+        assert many.stats.execution_time <= one.stats.execution_time + 2

@@ -1,0 +1,148 @@
+"""Cross-algorithm property tests — the DESIGN.md §6 invariants.
+
+Every algorithm in the repository must agree with every other on every
+graph; the theoretical bounds must hold on every run; the decomposition
+semantics must hold on every result. Hypothesis drives all of it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    batagelj_zaversnik,
+    networkx_coreness,
+    peeling_coreness,
+)
+from repro.core import theory
+from repro.core.one_to_many import OneToManyConfig, run_one_to_many
+from repro.core.one_to_one import OneToOneConfig, run_one_to_one
+from repro.graph.graph import Graph
+from repro.pregel.kcore import run_pregel_kcore
+
+from tests.conftest import graphs
+
+
+class TestAllAlgorithmsAgree:
+    """Invariant 1: six independent implementations, one answer."""
+
+    @given(graphs(max_nodes=26), st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_six_way_agreement(self, g: Graph, seed: int):
+        truth = networkx_coreness(g)
+        assert batagelj_zaversnik(g) == truth
+        assert peeling_coreness(g) == truth
+        assert run_one_to_one(g, OneToOneConfig(seed=seed)).coreness == truth
+        assert (
+            run_one_to_many(
+                g, OneToManyConfig(num_hosts=1 + seed % 5, seed=seed)
+            ).coreness
+            == truth
+        )
+        assert run_pregel_kcore(g, num_workers=1 + seed % 4).coreness == truth
+
+
+class TestRunInvariants:
+    @given(graphs(max_nodes=30))
+    @settings(max_examples=30, deadline=None)
+    def test_round_bounds(self, g: Graph):
+        """Invariant 5: Theorems 4/5, Corollary 1 on every lockstep run."""
+        result = run_one_to_one(
+            g, OneToOneConfig(mode="lockstep", optimize_sends=False)
+        )
+        truth = batagelj_zaversnik(g)
+        t = result.stats.execution_time
+        assert t <= theory.theorem4_bound(g, truth)
+        assert t <= theory.theorem5_bound(g)
+        assert t <= theory.corollary1_bound(g) or g.num_nodes == 0
+
+    @given(graphs(max_nodes=30))
+    @settings(max_examples=30, deadline=None)
+    def test_message_bounds(self, g: Graph):
+        """Invariant 6: Corollary 2 on every unoptimised run."""
+        result = run_one_to_one(
+            g, OneToOneConfig(mode="lockstep", optimize_sends=False)
+        )
+        updates = result.stats.total_messages - 2 * g.num_edges
+        assert updates <= theory.corollary2_message_bound(g)
+
+    @given(graphs(max_nodes=24), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_safety_every_round(self, g: Graph, seed: int):
+        """Invariant 2: estimates never drop below the true coreness."""
+        from repro.core.one_to_one import build_node_processes
+        from repro.sim.engine import RoundEngine
+
+        truth = batagelj_zaversnik(g)
+        violations: list[tuple[int, int]] = []
+
+        def check(round_number, engine):
+            for pid, process in engine.processes.items():
+                if process.core < truth[pid]:
+                    violations.append((round_number, pid))
+
+        processes = build_node_processes(g, optimize_sends=True)
+        RoundEngine(processes, seed=seed, observers=[check]).run()
+        assert violations == []
+
+    @given(graphs(max_nodes=24), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_estimates(self, g: Graph, seed: int):
+        """Invariant 3: per-node estimates never increase."""
+        from repro.core.one_to_one import build_node_processes
+        from repro.sim.engine import RoundEngine
+
+        last: dict[int, int] = {}
+        violations: list[int] = []
+
+        def check(round_number, engine):
+            for pid, process in engine.processes.items():
+                if pid in last and process.core > last[pid]:
+                    violations.append(pid)
+                last[pid] = process.core
+
+        processes = build_node_processes(g, optimize_sends=True)
+        RoundEngine(processes, seed=seed, observers=[check]).run()
+        assert violations == []
+
+    @given(graphs(max_nodes=26))
+    @settings(max_examples=30, deadline=None)
+    def test_locality_of_final_values(self, g: Graph):
+        """Invariant 4: the result satisfies Theorem 1 at every node."""
+        result = run_one_to_one(g, OneToOneConfig(seed=0))
+        assert theory.check_locality(g, result.coreness)
+
+    @given(graphs(max_nodes=20))
+    @settings(max_examples=20, deadline=None)
+    def test_full_decomposition_semantics(self, g: Graph):
+        """Invariant 10: every k-core is the maximal min-degree-k
+        subgraph."""
+        result = run_one_to_one(g, OneToOneConfig(seed=1))
+        assert theory.verify_decomposition(g, result.coreness)
+
+
+class TestScheduleIndependence:
+    @given(graphs(max_nodes=24), st.lists(st.integers(0, 2**31), min_size=3, max_size=3))
+    @settings(max_examples=15, deadline=None)
+    def test_any_schedule_same_answer(self, g: Graph, seeds):
+        """The result must not depend on the randomized activation order
+        (only the round/message counts may)."""
+        results = {
+            tuple(sorted(run_one_to_one(g, OneToOneConfig(seed=s)).coreness.items()))
+            for s in seeds
+        }
+        assert len(results) == 1
+
+    @given(graphs(max_nodes=22), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_assignment_independence(self, g: Graph, seed: int):
+        """One-to-many: the answer must not depend on node placement."""
+        results = set()
+        for policy in ("modulo", "block", "random"):
+            run = run_one_to_many(
+                g,
+                OneToManyConfig(num_hosts=4, policy=policy, seed=seed),
+            )
+            results.add(tuple(sorted(run.coreness.items())))
+        assert len(results) == 1

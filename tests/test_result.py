@@ -1,0 +1,91 @@
+"""Tests for DecompositionResult semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import batagelj_zaversnik
+from repro.core.result import DecompositionResult, wrap_coreness
+from repro.graph import generators as gen
+
+from tests.conftest import graphs
+
+
+def _result_for(graph) -> DecompositionResult:
+    return wrap_coreness(batagelj_zaversnik(graph), "test")
+
+
+class TestViews:
+    def test_core_and_shell(self):
+        result = _result_for(gen.figure1_example())
+        assert result.shell(3) == {0, 1, 2, 3, 4}
+        assert result.core(3) == {0, 1, 2, 3, 4}
+        assert result.shell(1) == {10, 11, 12}
+        # 1-core includes everything with coreness >= 1
+        assert result.core(1) == set(range(13))
+
+    def test_core_zero_is_everything(self):
+        result = _result_for(gen.empty_graph(4))
+        assert result.core(0) == {0, 1, 2, 3}
+
+    def test_max_and_average(self):
+        result = _result_for(gen.clique_graph(5))
+        assert result.max_coreness == 4
+        assert result.average_coreness == 4.0
+
+    def test_empty(self):
+        result = wrap_coreness({}, "empty")
+        assert result.max_coreness == 0
+        assert result.average_coreness == 0.0
+        assert result.shell_sizes() == {}
+
+    def test_shell_sizes_sorted_ascending(self):
+        result = _result_for(gen.figure1_example())
+        sizes = result.shell_sizes()
+        assert list(sizes) == sorted(sizes)
+        assert sum(sizes.values()) == 13
+
+    def test_core_subgraph_min_degree(self):
+        g = gen.figure1_example()
+        result = _result_for(g)
+        sub = result.core_subgraph(g, 2)
+        assert sub.min_degree() >= 2
+
+    def test_top_spreaders_orders_by_coreness(self):
+        result = wrap_coreness({0: 1, 1: 3, 2: 2, 3: 3}, "t")
+        assert result.top_spreaders(2) == [1, 3]
+        assert result.top_spreaders(10) == [1, 3, 2, 0]
+
+    def test_equality_with_dict_and_result(self):
+        a = wrap_coreness({0: 1}, "a")
+        b = wrap_coreness({0: 1}, "b")
+        assert a == b
+        assert a == {0: 1}
+        assert a != {0: 2}
+
+    def test_repr_mentions_algorithm(self):
+        assert "one-shot" in repr(wrap_coreness({}, "one-shot"))
+
+
+class TestNesting:
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_cores_are_concentric(self, g):
+        """Figure 1's property: the (k+1)-core is inside the k-core."""
+        result = _result_for(g)
+        for k in range(result.max_coreness + 1):
+            assert result.core(k + 1) <= result.core(k)
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_shells_partition_nodes(self, g):
+        result = _result_for(g)
+        union: set[int] = set()
+        total = 0
+        for k in range(result.max_coreness + 1):
+            shell = result.shell(k)
+            assert union.isdisjoint(shell)
+            union |= shell
+            total += len(shell)
+        assert total == g.num_nodes

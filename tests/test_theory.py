@@ -1,0 +1,121 @@
+"""Tests for the theory module (bounds, locality, decomposition checks)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import batagelj_zaversnik
+from repro.core import theory
+from repro.graph import generators as gen
+from repro.graph.graph import Graph
+
+from tests.conftest import graphs
+
+
+class TestBounds:
+    def test_theorem4_on_star(self):
+        g = gen.star_graph(5)
+        truth = batagelj_zaversnik(g)
+        # center: d=5, k=1 -> error 4; leaves: 0 -> bound 5
+        assert theory.theorem4_bound(g, truth) == 5
+
+    def test_theorem5_is_n(self):
+        g = gen.path_graph(9)
+        assert theory.theorem5_bound(g) == 9
+
+    def test_corollary1_counts_minimal_degree_nodes(self):
+        g = gen.path_graph(5)  # two endpoints of degree 1
+        assert theory.corollary1_bound(g) == 5 - 2 + 1
+
+    def test_corollary1_empty(self):
+        assert theory.corollary1_bound(Graph()) == 0
+
+    def test_corollary2_formula(self):
+        g = gen.cycle_graph(5)  # all degree 2
+        assert theory.corollary2_message_bound(g) == 5 * 4 - 2 * 5
+        assert theory.total_message_bound(g) == 5 * 4
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_corollary1_no_tighter_than_theorem5(self, g: Graph):
+        if g.num_nodes:
+            assert theory.corollary1_bound(g) <= theory.theorem5_bound(g)
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_bound_relation_remark(self, g: Graph):
+        """The paper: Theorem 5 is tighter than Theorem 4 iff the average
+        initial error exceeds 1 - 1/N."""
+        if g.num_nodes == 0:
+            return
+        truth = batagelj_zaversnik(g)
+        n = g.num_nodes
+        avg_error = sum(g.degree(u) - truth[u] for u in g.nodes()) / n
+        t4 = theory.theorem4_bound(g, truth)
+        t5 = theory.theorem5_bound(g)
+        if avg_error > 1 - 1 / n:
+            assert t5 <= t4
+        else:
+            assert t4 <= t5
+
+
+class TestLocality:
+    @given(graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_true_coreness_passes(self, g: Graph):
+        truth = batagelj_zaversnik(g)
+        assert theory.check_locality(g, truth)
+
+    def test_inflated_value_fails(self):
+        g = gen.cycle_graph(6)
+        wrong = {u: 2 for u in g.nodes()}
+        wrong[3] = 3  # claims a 3-core that cannot exist
+        assert not theory.check_locality(g, wrong)
+
+    def test_uniformly_deflated_cycle_passes_locality_but_fails_full_check(self):
+        """Locality is a fixpoint condition — the all-ones assignment on
+        a cycle is self-consistent (it is *a* fixpoint, just not the
+        greatest one). Only the full Definition-2 check catches it."""
+        g = gen.cycle_graph(6)
+        wrong = {u: 1 for u in g.nodes()}
+        assert theory.check_locality(g, wrong)
+        assert not theory.verify_decomposition(g, wrong)
+
+
+class TestDecompositionCheckers:
+    def test_is_k_core_true_cases(self):
+        g = gen.figure1_example()
+        truth = batagelj_zaversnik(g)
+        three_core = {u for u, c in truth.items() if c >= 3}
+        assert theory.is_k_core(g, three_core, 3)
+
+    def test_is_k_core_not_maximal(self):
+        g = gen.clique_graph(5)
+        # a strict subset of K5 satisfies min-degree 3 but not maximality
+        assert not theory.is_k_core(g, {0, 1, 2, 3}, 3)
+
+    def test_is_k_core_insufficient_degree(self):
+        g = gen.path_graph(4)
+        assert not theory.is_k_core(g, set(g.nodes()), 2)
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_verify_decomposition_accepts_truth(self, g: Graph):
+        assert theory.verify_decomposition(g, batagelj_zaversnik(g))
+
+    @given(graphs(min_nodes=2))
+    @settings(max_examples=40, deadline=None)
+    def test_verify_decomposition_rejects_perturbation(self, g: Graph):
+        truth = batagelj_zaversnik(g)
+        if g.num_edges == 0:
+            return
+        # bump one node with at least one edge
+        victim = next(u for u in g.nodes() if g.degree(u) > 0)
+        wrong = dict(truth)
+        wrong[victim] += 1
+        assert not theory.verify_decomposition(g, wrong)
+
+    def test_verify_decomposition_wrong_node_set(self):
+        g = gen.path_graph(3)
+        assert not theory.verify_decomposition(g, {0: 1, 1: 1})

@@ -1,0 +1,95 @@
+"""Tests for utility modules (tables, plots, CSV, RNG helpers)."""
+
+from __future__ import annotations
+
+import csv
+import random
+
+import pytest
+
+from repro.utils.ascii_plot import ascii_series_plot
+from repro.utils.csvio import write_csv
+from repro.utils.rng import derive_seed, make_rng, spawn_rngs
+from repro.utils.tables import format_number, format_table
+
+
+class TestTables:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ("name", "count"),
+            [("alpha", 10), ("b", 2000)],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "alpha" in text and "2 000" in text
+
+    def test_numeric_right_aligned(self):
+        text = format_table(("n",), [(1,), (100,)])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_format_number(self):
+        assert format_number(1234567) == "1 234 567"
+        assert format_number(3.14159, digits=2) == "3.14"
+        assert format_number("text") == "text"
+        assert format_number(True) == "True"
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert ascii_series_plot({}) == "(empty plot)"
+
+    def test_contains_legend_and_axes(self):
+        text = ascii_series_plot(
+            {"err": [(1, 10.0), (2, 1.0), (3, 0.1)]},
+            width=30,
+            height=8,
+            logy=True,
+            title="demo plot",
+        )
+        assert "demo plot" in text
+        assert "a=err" in text
+        assert "log" in text
+
+    def test_two_series_get_distinct_markers(self):
+        text = ascii_series_plot(
+            {"one": [(0, 0.0), (1, 1.0)], "two": [(0, 1.0), (1, 0.0)]},
+            width=20,
+            height=5,
+        )
+        assert "a=one" in text and "b=two" in text
+        body = "\n".join(text.splitlines()[1:-2])
+        assert "a" in body and "b" in body
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out" / "data.csv"
+        write_csv(path, ("a", "b"), [(1, 2), (3, 4)])
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+class TestRng:
+    def test_make_rng_passthrough(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_make_rng_from_int_deterministic(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_spawn_rngs_independent(self):
+        streams = spawn_rngs(7, 3)
+        values = [s.random() for s in streams]
+        assert len(set(values)) == 3
+
+    def test_derive_seed_decorrelated(self):
+        seeds = {derive_seed(0, i) for i in range(100)}
+        assert len(seeds) == 100
