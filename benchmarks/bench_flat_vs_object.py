@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Flat-engine vs object-engine throughput on the one-to-one protocol.
+
+Runs ``run_one_to_one(mode="lockstep")`` through both execution paths —
+the general object engine (``engine="round"``) and the CSR array fast
+path (``engine="flat"``) — on three graph families:
+
+* ``er`` — Erdős–Rényi, avg degree ≈ 8 (the uniform-sparse regime);
+* ``ba`` — Barabási–Albert, m = 5 (heavy-tailed social/web regime);
+* ``worst-case`` — the paper's Section-4 adversarial family whose
+  execution time is Θ(N) rounds. Run with a fixed round budget so the
+  object engine's O(N)-per-round floor stays measurable at 50k nodes;
+  both engines execute the identical truncated workload.
+
+Each run is timed end-to-end (including process construction / CSR
+conversion), reports nodes/sec, cross-checks that both engines return
+identical coreness (and the BZ oracle for converged runs), and writes
+everything to ``BENCH_flat.json``. The headline figure is the speedup
+at N = 50 000; the target is >= 10x.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_flat_vs_object.py            # full
+    PYTHONPATH=src python benchmarks/bench_flat_vs_object.py --smoke    # CI
+
+``--smoke`` shrinks everything to a seconds-long equivalence + sanity
+run (used by CI to fail loudly on fast-path regressions); the speedup
+threshold is only enforced on full runs via ``--require-speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.baselines import batagelj_zaversnik  # noqa: E402
+from repro.core.one_to_one import OneToOneConfig, run_one_to_one  # noqa: E402
+from repro.graph import generators as gen  # noqa: E402
+
+#: Round budget for the worst-case family (its natural execution time is
+#: N - 1 rounds; both engines run exactly this many rounds instead).
+WORST_CASE_ROUNDS = 192
+
+FAMILIES = {
+    "er": lambda n, seed: gen.erdos_renyi_graph(n, 8.0 / n, seed=seed),
+    "ba": lambda n, seed: gen.preferential_attachment_graph(n, 5, seed=seed),
+    "worst-case": lambda n, seed: gen.worst_case_graph(n),
+}
+
+
+def time_run(graph, engine: str, fixed_rounds: int | None, reps: int):
+    """Best-of-``reps`` wall time for one engine; returns (secs, result).
+
+    Each rep runs on a fresh ``graph.copy()`` (copied outside the timed
+    region) so neither engine inherits the other's sorted-neighbour
+    cache — both pay the full cold-start cost every rep.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        run_graph = graph.copy()
+        config = OneToOneConfig(
+            mode="lockstep", engine=engine, fixed_rounds=fixed_rounds
+        )
+        start = time.perf_counter()
+        result = run_one_to_one(run_graph, config)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def bench_one(family: str, n: int, seed: int, reps: int) -> dict:
+    graph = FAMILIES[family](n, seed)
+    fixed_rounds = WORST_CASE_ROUNDS if family == "worst-case" else None
+
+    obj_secs, obj_result = time_run(graph, "round", fixed_rounds, reps)
+    flat_secs, flat_result = time_run(graph, "flat", fixed_rounds, reps)
+
+    if flat_result.coreness != obj_result.coreness:
+        raise AssertionError(
+            f"flat/object coreness mismatch on {family} n={n}"
+        )
+    stats_match = (
+        flat_result.stats.rounds_executed == obj_result.stats.rounds_executed
+        and flat_result.stats.sends_per_round == obj_result.stats.sends_per_round
+        and flat_result.stats.sent_per_process == obj_result.stats.sent_per_process
+    )
+    if not stats_match:
+        raise AssertionError(
+            f"flat/object stats mismatch on {family} n={n}"
+        )
+    if fixed_rounds is None and flat_result.coreness != batagelj_zaversnik(graph):
+        raise AssertionError(f"flat coreness != BZ oracle on {family} n={n}")
+
+    return {
+        "family": family,
+        "n": graph.num_nodes,
+        "edges": graph.num_edges,
+        # truncated (fixed_rounds) runs leave stats.rounds_executed at 0
+        # by engine contract; the per-round send list always has one
+        # entry per executed round, so report its length instead
+        "rounds_executed": len(flat_result.stats.sends_per_round),
+        "total_messages": flat_result.stats.total_messages,
+        "fixed_rounds": fixed_rounds,
+        "object_seconds": round(obj_secs, 6),
+        "flat_seconds": round(flat_secs, 6),
+        "object_nodes_per_sec": round(graph.num_nodes / obj_secs, 1),
+        "flat_nodes_per_sec": round(graph.num_nodes / flat_secs, 1),
+        "speedup": round(obj_secs / flat_secs, 2),
+        "verified": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes, equivalence-focused; for CI",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="override node counts (default: 5000 20000 50000)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--reps", type=int, default=1)
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero unless the best 50k speedup meets this bound",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_flat.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes or ([1000] if args.smoke else [5000, 20000, 50000])
+    results = []
+    for n in sizes:
+        for family in FAMILIES:
+            row = bench_one(family, n, args.seed, args.reps)
+            results.append(row)
+            print(
+                f"{family:>10s} n={row['n']:>6d} m={row['edges']:>7d} "
+                f"rounds={row['rounds_executed']:>4d} | "
+                f"object {row['object_seconds']:8.3f}s "
+                f"({row['object_nodes_per_sec']:>10.0f} nodes/s) | "
+                f"flat {row['flat_seconds']:8.3f}s "
+                f"({row['flat_nodes_per_sec']:>10.0f} nodes/s) | "
+                f"{row['speedup']:6.2f}x",
+                flush=True,
+            )
+
+    top_n = max(sizes)
+    at_top = [r for r in results if r["n"] >= top_n]
+    best = max((r["speedup"] for r in at_top), default=0.0)
+    geo = 1.0
+    for r in at_top:
+        geo *= r["speedup"]
+    geo = geo ** (1.0 / len(at_top)) if at_top else 0.0
+    summary = {
+        "largest_n": top_n,
+        "best_speedup_at_largest_n": best,
+        "geomean_speedup_at_largest_n": round(geo, 2),
+        "target_speedup": 10.0,
+        "target_met": best >= 10.0,
+    }
+    payload = {
+        "benchmark": "flat engine vs object engine, one-to-one lockstep",
+        "smoke": args.smoke,
+        "seed": args.seed,
+        "reps": args.reps,
+        "results": results,
+        "summary": summary,
+    }
+    out_path = os.path.abspath(args.out)
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"\nbest speedup at n={top_n}: {best:.2f}x "
+        f"(geomean {summary['geomean_speedup_at_largest_n']:.2f}x) "
+        f"-> {out_path}"
+    )
+
+    if args.require_speedup is not None and best < args.require_speedup:
+        print(
+            f"FAIL: best speedup {best:.2f}x < required "
+            f"{args.require_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

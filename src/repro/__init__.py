@@ -19,10 +19,12 @@ Quickstart::
 
 from repro.core.api import ALGORITHMS, coreness, decompose
 from repro.core.one_to_one import OneToOneConfig, run_one_to_one
+from repro.core.one_to_one_flat import run_one_to_one_flat
 from repro.core.one_to_many import OneToManyConfig, run_one_to_many
 from repro.core.result import DecompositionResult
 from repro.core.assignment import Assignment, assign
 from repro.graph.graph import Graph
+from repro.graph.csr import CSRGraph
 from repro.graph import generators
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.graph.stats import GraphStats, compute_stats
@@ -33,6 +35,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ALGORITHMS",
     "Assignment",
+    "CSRGraph",
     "DecompositionResult",
     "Graph",
     "GraphStats",
@@ -48,6 +51,7 @@ __all__ = [
     "read_edge_list",
     "run_one_to_many",
     "run_one_to_one",
+    "run_one_to_one_flat",
     "write_edge_list",
     "__version__",
 ]

@@ -6,12 +6,18 @@ textbook iterative-peeling definition of the decomposition and an
 adapter around ``networkx.core_number`` for cross-validation in tests.
 """
 
-from repro.baselines.batagelj_zaversnik import batagelj_zaversnik
+from repro.baselines.batagelj_zaversnik import (
+    batagelj_zaversnik,
+    batagelj_zaversnik_csr,
+    degeneracy_ordering,
+)
 from repro.baselines.peeling import peeling_coreness, k_core_subgraph
 from repro.baselines.networkx_adapter import networkx_coreness
 
 __all__ = [
     "batagelj_zaversnik",
+    "batagelj_zaversnik_csr",
+    "degeneracy_ordering",
     "peeling_coreness",
     "k_core_subgraph",
     "networkx_coreness",

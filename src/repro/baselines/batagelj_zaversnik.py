@@ -6,59 +6,73 @@ drop by one and they migrate one bucket down. The visit order is
 maintained in-place with the classic position-swap trick, so the whole
 run is O(max(n, m)).
 
+The peel itself runs over a :class:`~repro.graph.csr.CSRGraph`: every
+auxiliary structure (degrees, buckets, positions, cores) is a flat
+stdlib ``array`` indexed by compact node index, and neighbour visits
+walk the CSR ``targets`` slice — no dict lookups or set iterators on the
+hot path, so the exact baseline scales with the flat protocol engine.
+:class:`Graph` inputs are compacted on entry and results are translated
+back to original ids on exit.
+
 This is the ground-truth oracle for every distributed run in the test
 suite, and the sequential baseline timed in ``benchmarks/bench_baselines``.
 """
 
 from __future__ import annotations
 
+from array import array
+
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 
-__all__ = ["batagelj_zaversnik", "degeneracy_ordering"]
+__all__ = [
+    "batagelj_zaversnik",
+    "batagelj_zaversnik_csr",
+    "degeneracy_ordering",
+]
 
 
-def batagelj_zaversnik(graph: Graph) -> dict[int, int]:
-    """Return ``{node: coreness}`` for every node of ``graph``.
-
-    >>> from repro.graph.generators import clique_graph
-    >>> batagelj_zaversnik(clique_graph(4)) == {0: 3, 1: 3, 2: 3, 3: 3}
-    True
-    """
-    n = graph.num_nodes
+def _peel(csr: CSRGraph, record_order: bool) -> tuple[array, list[int]]:
+    """Shared bucket-peel; returns (core per compact index, visit order)."""
+    n = csr.num_nodes
+    offsets, targets = csr.offsets, csr.targets
+    order: list[int] = []
     if n == 0:
-        return {}
+        return array("q"), order
 
-    nodes = list(graph.nodes())
-    index_of = {u: i for i, u in enumerate(nodes)}
-    degree = [graph.degree(u) for u in nodes]
-    max_degree = max(degree)
+    degree = array("q", [0]) * n
+    max_degree = 0
+    for i in range(n):
+        d = offsets[i + 1] - offsets[i]
+        degree[i] = d
+        if d > max_degree:
+            max_degree = d
 
     # bucket sort nodes by degree
-    bin_count = [0] * (max_degree + 1)
+    bin_start = array("q", [0]) * (max_degree + 2)
     for d in degree:
-        bin_count[d] += 1
-    bin_start = [0] * (max_degree + 1)
-    total = 0
+        bin_start[d + 1] += 1
     for d in range(max_degree + 1):
-        bin_start[d] = total
-        total += bin_count[d]
+        bin_start[d + 1] += bin_start[d]
 
-    position = [0] * n  # position of node i in vert
-    vert = [0] * n      # nodes sorted by current degree
-    fill = list(bin_start)
+    position = array("q", [0]) * n  # position of node i in vert
+    vert = array("q", [0]) * n      # nodes sorted by current degree
+    fill = array("q", bin_start[:max_degree + 1])
     for i in range(n):
         d = degree[i]
         position[i] = fill[d]
         vert[fill[d]] = i
         fill[d] += 1
 
-    core = list(degree)
+    core = array("q", degree)
     for cursor in range(n):
         i = vert[cursor]
-        u = nodes[i]
-        for v in graph.neighbors(u):
-            j = index_of[v]
-            if core[j] > core[i]:
+        if record_order:
+            order.append(i)
+        ci = core[i]
+        for e in range(offsets[i], offsets[i + 1]):
+            j = targets[e]
+            if core[j] > ci:
                 # move j one bucket down: swap it with the first node of
                 # its current bucket, then shift the bucket boundary
                 dj = core[j]
@@ -71,10 +85,33 @@ def batagelj_zaversnik(graph: Graph) -> dict[int, int]:
                 bin_start[dj] += 1
                 core[j] -= 1
 
-    return {nodes[i]: core[i] for i in range(n)}
+    return core, order
 
 
-def degeneracy_ordering(graph: Graph) -> list[int]:
+def batagelj_zaversnik_csr(csr: CSRGraph) -> array:
+    """Coreness per *compact* node index (``csr.ids[i]`` is the id).
+
+    The allocation-free entry point for callers that already hold a
+    :class:`CSRGraph` (benchmarks, the flat engine's tests).
+    """
+    core, _ = _peel(csr, record_order=False)
+    return core
+
+
+def batagelj_zaversnik(graph: "Graph | CSRGraph") -> dict[int, int]:
+    """Return ``{node: coreness}`` for every node of ``graph``.
+
+    >>> from repro.graph.generators import clique_graph
+    >>> batagelj_zaversnik(clique_graph(4)) == {0: 3, 1: 3, 2: 3, 3: 3}
+    True
+    """
+    csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_graph(graph)
+    core = batagelj_zaversnik_csr(csr)
+    ids = csr.ids
+    return {ids[i]: core[i] for i in range(len(ids))}
+
+
+def degeneracy_ordering(graph: "Graph | CSRGraph") -> list[int]:
     """Nodes in the order the peeling process removes them.
 
     The visit order of the Batagelj–Zaveršnik run is a *degeneracy
@@ -82,45 +119,12 @@ def degeneracy_ordering(graph: Graph) -> list[int]:
     nodes that come after it. Useful downstream for greedy colouring
     and clique enumeration; exposed here because the ordering falls out
     of the algorithm for free.
+
+    Only *a* valid degeneracy ordering is guaranteed: ties within a
+    degree bucket resolve by ascending node id (the CSR compaction
+    order), not by the graph's insertion order.
     """
-    n = graph.num_nodes
-    if n == 0:
-        return []
-    nodes = list(graph.nodes())
-    index_of = {u: i for i, u in enumerate(nodes)}
-    degree = [graph.degree(u) for u in nodes]
-    max_degree = max(degree)
-    bin_count = [0] * (max_degree + 1)
-    for d in degree:
-        bin_count[d] += 1
-    bin_start = [0] * (max_degree + 1)
-    total = 0
-    for d in range(max_degree + 1):
-        bin_start[d] = total
-        total += bin_count[d]
-    position = [0] * n
-    vert = [0] * n
-    fill = list(bin_start)
-    for i in range(n):
-        d = degree[i]
-        position[i] = fill[d]
-        vert[fill[d]] = i
-        fill[d] += 1
-    core = list(degree)
-    order: list[int] = []
-    for cursor in range(n):
-        i = vert[cursor]
-        order.append(nodes[i])
-        for v in graph.neighbors(nodes[i]):
-            j = index_of[v]
-            if core[j] > core[i]:
-                dj = core[j]
-                swap_pos = bin_start[dj]
-                swap_node = vert[swap_pos]
-                if j != swap_node:
-                    pj = position[j]
-                    vert[pj], vert[swap_pos] = swap_node, j
-                    position[j], position[swap_node] = swap_pos, pj
-                bin_start[dj] += 1
-                core[j] -= 1
-    return order
+    csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_graph(graph)
+    _, order = _peel(csr, record_order=True)
+    ids = csr.ids
+    return [ids[i] for i in order]

@@ -20,6 +20,7 @@ __all__ = ["decompose", "coreness", "ALGORITHMS"]
 #: Algorithms accepted by :func:`decompose`.
 ALGORITHMS = (
     "one-to-one",
+    "one-to-one-flat",
     "one-to-many",
     "bz",
     "peeling",
@@ -38,6 +39,9 @@ def decompose(
 
     * ``"one-to-one"`` — the distributed node protocol (Algorithm 1);
       options are :class:`~repro.core.one_to_one.OneToOneConfig` fields.
+    * ``"one-to-one-flat"`` — the same protocol on the CSR array fast
+      path (lockstep semantics; 2-15x throughput depending on graph
+      family, see ``BENCH_flat.json``).
     * ``"one-to-many"`` — the distributed host protocol (Algorithms
       3-5); options are :class:`~repro.core.one_to_many.OneToManyConfig`
       fields.
@@ -50,6 +54,15 @@ def decompose(
     1
     """
     if algorithm == "one-to-one":
+        return run_one_to_one(graph, OneToOneConfig(**options))  # type: ignore[arg-type]
+    if algorithm == "one-to-one-flat":
+        options.setdefault("mode", "lockstep")
+        if options.setdefault("engine", "flat") != "flat":
+            raise ConfigurationError(
+                "algorithm 'one-to-one-flat' implies engine='flat'; "
+                f"got engine={options['engine']!r} — use algorithm "
+                "'one-to-one' to pick an engine explicitly"
+            )
         return run_one_to_one(graph, OneToOneConfig(**options))  # type: ignore[arg-type]
     if algorithm == "one-to-many":
         return run_one_to_many(graph, OneToManyConfig(**options))  # type: ignore[arg-type]

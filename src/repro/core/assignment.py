@@ -99,7 +99,7 @@ def _bfs(graph: Graph, num_hosts: int, rng: random.Random) -> dict[int, int]:
         while queue:
             u = queue.popleft()
             order.append(u)
-            for v in sorted(graph.neighbors(u)):
+            for v in graph.sorted_neighbors(u):
                 if v not in seen:
                     seen.add(v)
                     queue.append(v)

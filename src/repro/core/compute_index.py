@@ -29,7 +29,7 @@ __all__ = [
 
 
 def compute_index(
-    estimates: Iterable[int], k: int
+    estimates: Iterable[int], k: int, scratch: list[int] | None = None
 ) -> int:
     """Largest ``i <= k`` with at least ``i`` estimates ``>= i``.
 
@@ -43,6 +43,16 @@ def compute_index(
     ``est[v]`` for ``v in neighborV(u)``); ``k`` is ``u``'s current
     estimate, which by safety (Theorem 2) upper-bounds the answer.
 
+    ``scratch`` is an optional caller-owned bucket buffer, reused across
+    calls on hot paths instead of allocating ``[0] * (k + 1)`` each time.
+    It is grown to ``k + 1`` entries as needed and its first ``k + 1``
+    entries are overwritten. **Post-condition** (part of the contract;
+    the flat engine relies on it): when ``k >= 1``, on return
+    ``scratch[i]`` holds the suffix count ``#{estimates clamped to k
+    that are >= i}`` for ``1 <= i <= k`` — in particular ``scratch[t]``
+    at the returned index ``t`` is the node's *support*, the number of
+    neighbours whose estimate is at least ``t``.
+
     >>> compute_index([2, 2, 3], 3)   # two neighbours at >= 2
     2
     >>> compute_index([1, 1, 1], 3)
@@ -50,7 +60,14 @@ def compute_index(
     """
     if k <= 0:
         return 0
-    count = [0] * (k + 1)
+    if scratch is None:
+        count = [0] * (k + 1)
+    else:
+        count = scratch
+        if len(count) <= k:
+            count.extend([0] * (k + 1 - len(count)))
+        for i in range(k + 1):
+            count[i] = 0
     for est in estimates:
         j = k if est > k else est
         if j > 0:

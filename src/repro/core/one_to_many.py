@@ -267,7 +267,7 @@ def build_host_processes(
     if p2p_filter and communication != "p2p":
         raise ConfigurationError("p2p_filter requires the p2p policy")
     adjacency_of = {
-        u: tuple(sorted(graph.neighbors(u))) for u in graph.nodes()
+        u: graph.sorted_neighbors(u) for u in graph.nodes()
     }
     processes: dict[int, KCoreHost] = {}
     for host in range(assignment.num_hosts):

@@ -54,13 +54,16 @@ class KCoreNode(Process):
     * :attr:`changed` — whether a broadcast is pending.
     """
 
-    __slots__ = ("neighbors", "core", "est", "changed", "optimize_sends")
+    __slots__ = (
+        "neighbors", "core", "est", "changed", "optimize_sends", "scratch"
+    )
 
     def __init__(
         self,
         pid: int,
         neighbors: Sequence[int],
         optimize_sends: bool = True,
+        scratch: list[int] | None = None,
     ) -> None:
         super().__init__(pid)
         self.neighbors: tuple[int, ...] = tuple(neighbors)
@@ -68,6 +71,9 @@ class KCoreNode(Process):
         self.est: dict[int, int] = {}
         self.changed = False
         self.optimize_sends = optimize_sends
+        # computeIndex bucket buffer; sharable across nodes because each
+        # call fully overwrites the first k+1 entries
+        self.scratch: list[int] = scratch if scratch is not None else []
 
     # ------------------------------------------------------------------
     def on_init(self, ctx: Context) -> None:
@@ -91,6 +97,7 @@ class KCoreNode(Process):
         t = compute_index(
             (self.est.get(v, self.core + 1) for v in self.neighbors),
             self.core,
+            self.scratch,
         )
         if t < self.core:
             self.core = t
@@ -122,7 +129,10 @@ class OneToOneConfig:
     optimize_sends:
         Enable the Section 3.1.2 message filter.
     engine:
-        ``"round"`` or ``"async"`` (event-driven, arbitrary latencies).
+        ``"round"`` (object engine), ``"async"`` (event-driven,
+        arbitrary latencies) or ``"flat"`` (the array fast path of
+        :mod:`repro.sim.flat_engine`; lockstep-only, no observers,
+        bit-identical results to ``engine="round"`` + lockstep).
     max_rounds:
         Convergence guard; runs that exceed it raise unless ``strict``
         is off, in which case a partial (approximate) result returns.
@@ -147,9 +157,16 @@ class OneToOneConfig:
 def build_node_processes(
     graph: Graph, optimize_sends: bool = True
 ) -> dict[int, KCoreNode]:
-    """Instantiate one :class:`KCoreNode` per graph node."""
+    """Instantiate one :class:`KCoreNode` per graph node.
+
+    Neighbour tuples come pre-sorted from the graph's cache
+    (:meth:`Graph.sorted_neighbors`), so repeated runs over the same
+    graph skip the per-node re-sort; all nodes share one ``computeIndex``
+    scratch buffer.
+    """
+    scratch: list[int] = []
     return {
-        u: KCoreNode(u, sorted(graph.neighbors(u)), optimize_sends)
+        u: KCoreNode(u, graph.sorted_neighbors(u), optimize_sends, scratch)
         for u in graph.nodes()
     }
 
@@ -164,6 +181,12 @@ def run_one_to_one(
     {0: 3, 1: 3, 2: 3, 3: 3}
     """
     config = config or OneToOneConfig()
+
+    if config.engine == "flat":
+        from repro.core.one_to_one_flat import run_one_to_one_flat
+
+        return run_one_to_one_flat(graph, config)
+
     processes = build_node_processes(graph, config.optimize_sends)
 
     if config.engine == "async":

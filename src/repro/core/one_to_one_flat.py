@@ -1,0 +1,66 @@
+"""Flat fast path for Algorithm 1 (``engine="flat"``).
+
+Thin glue between the protocol-level API (:class:`OneToOneConfig`,
+:class:`DecompositionResult`) and the array engine in
+:mod:`repro.sim.flat_engine`. The flat path is lockstep-only and does
+not support observers — both are fidelity features of the object
+engine; see the flat-engine module docstring for the tradeoff.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import DecompositionResult
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+from repro.graph.graph import Graph
+from repro.sim.flat_engine import FlatOneToOneEngine
+
+__all__ = ["run_one_to_one_flat"]
+
+
+def run_one_to_one_flat(
+    graph: "Graph | CSRGraph", config=None
+) -> DecompositionResult:
+    """Run Algorithm 1 through the flat array engine.
+
+    Accepts either a :class:`Graph` (converted to CSR internally) or a
+    prebuilt :class:`CSRGraph` (conversion amortised by the caller).
+    Produces bit-identical coreness and statistics to
+    ``run_one_to_one(mode="lockstep", engine="round")``.
+
+    >>> from repro.graph.generators import clique_graph
+    >>> run_one_to_one_flat(clique_graph(4)).coreness
+    {0: 3, 1: 3, 2: 3, 3: 3}
+    """
+    from repro.core.one_to_one import OneToOneConfig
+
+    config = config or OneToOneConfig(mode="lockstep", engine="flat")
+    if config.mode != "lockstep":
+        raise ConfigurationError(
+            "the flat engine replays lockstep semantics only; "
+            "pass OneToOneConfig(mode='lockstep', engine='flat') "
+            "or use engine='round' for peersim runs"
+        )
+    if config.observers:
+        raise ConfigurationError(
+            "the flat engine does not support observers; "
+            "use engine='round' for traced runs"
+        )
+    csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_graph(graph)
+    max_rounds = config.max_rounds
+    strict = config.strict
+    if config.fixed_rounds is not None:
+        max_rounds = config.fixed_rounds
+        strict = False
+    engine = FlatOneToOneEngine(
+        csr,
+        optimize_sends=config.optimize_sends,
+        max_rounds=max_rounds,
+        strict=strict,
+    )
+    stats = engine.run()
+    return DecompositionResult(
+        coreness=engine.coreness(),
+        stats=stats,
+        algorithm="one-to-one/lockstep-flat",
+    )

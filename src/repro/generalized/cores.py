@@ -242,7 +242,7 @@ def run_distributed_weighted(
             u,
             {
                 v: weights[_edge_key(u, v)]
-                for v in sorted(graph.neighbors(u))
+                for v in graph.sorted_neighbors(u)
             },
         )
         for u in graph.nodes()

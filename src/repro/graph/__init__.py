@@ -1,6 +1,7 @@
 """Undirected graph substrate: storage, generators, I/O, statistics."""
 
 from repro.graph.graph import Graph
+from repro.graph.csr import CSRGraph
 from repro.graph.generators import (
     caveman_graph,
     clique_graph,
@@ -23,6 +24,7 @@ from repro.graph.io import read_edge_list, write_edge_list
 from repro.graph.stats import GraphStats, compute_stats
 
 __all__ = [
+    "CSRGraph",
     "Graph",
     "GraphStats",
     "compute_stats",

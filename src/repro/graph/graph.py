@@ -38,12 +38,15 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_adj", "_num_edges", "name")
+    __slots__ = ("_adj", "_num_edges", "name", "_sorted_cache")
 
     def __init__(self, name: str = "") -> None:
         self._adj: dict[int, set[int]] = {}
         self._num_edges: int = 0
         self.name = name
+        # lazily filled {node: sorted neighbour tuple}; entries are
+        # dropped on mutation of the node's neighbourhood
+        self._sorted_cache: dict[int, tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -125,6 +128,9 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
+        if self._sorted_cache:
+            self._sorted_cache.pop(u, None)
+            self._sorted_cache.pop(v, None)
         return True
 
     def remove_edge(self, u: int, v: int) -> None:
@@ -134,6 +140,9 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._num_edges -= 1
+        if self._sorted_cache:
+            self._sorted_cache.pop(u, None)
+            self._sorted_cache.pop(v, None)
 
     def remove_node(self, node: int) -> None:
         """Remove ``node`` and all incident edges."""
@@ -141,8 +150,10 @@ class Graph:
             raise NodeNotFoundError(node)
         for neighbor in self._adj[node]:
             self._adj[neighbor].discard(node)
+            self._sorted_cache.pop(neighbor, None)
         self._num_edges -= len(self._adj[node])
         del self._adj[node]
+        self._sorted_cache.pop(node, None)
 
     # ------------------------------------------------------------------
     # queries
@@ -181,6 +192,23 @@ class Graph:
             return self._adj[node]
         except KeyError:
             raise NodeNotFoundError(node) from None
+
+    def sorted_neighbors(self, node: int, cache: bool = True) -> tuple[int, ...]:
+        """``neighborV(u)`` as a sorted tuple, cached until mutation.
+
+        The deterministic engines need a stable neighbour order per
+        node; caching the sorted tuple here means repeated protocol
+        runs over one graph sort each neighbourhood once instead of
+        once per run. One-shot readers (e.g. a single CSR conversion)
+        pass ``cache=False`` to reuse existing entries without pinning
+        O(n + m) of tuples on the graph as a side effect.
+        """
+        cached = self._sorted_cache.get(node)
+        if cached is None:
+            cached = tuple(sorted(self.neighbors(node)))
+            if cache:
+                self._sorted_cache[node] = cached
+        return cached
 
     def degree(self, node: int) -> int:
         """``d(u)`` — the initial coreness estimate in Algorithm 1."""

@@ -93,7 +93,7 @@ def run_pregel_kcore(
     inter-/intra-worker message split, and combiner savings.
     """
     vertices = [
-        KCoreVertex(u, sorted(graph.neighbors(u)), optimize_sends)
+        KCoreVertex(u, graph.sorted_neighbors(u), optimize_sends)
         for u in graph.nodes()
     ]
     master = PregelMaster(

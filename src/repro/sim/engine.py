@@ -117,6 +117,9 @@ class RoundEngine:
             pid: [] for pid in self.processes
         }
         self._sends_this_round = 0
+        # undelivered messages across both buffers, maintained so the
+        # quiescence check is O(1) instead of a full mailbox scan
+        self._pending_messages = 0
 
     # ------------------------------------------------------------------
     def _enqueue(self, sender: int, dest: int, payload: object) -> None:
@@ -125,6 +128,7 @@ class RoundEngine:
                 f"process {sender} sent to unknown process {dest}"
             )
         self._sends_this_round += 1
+        self._pending_messages += 1
         self.stats.merge_send(sender)
         if self.mode == "peersim":
             self._mailboxes[dest].append((sender, payload))
@@ -140,9 +144,7 @@ class RoundEngine:
         return pids
 
     def _pending_mail(self) -> bool:
-        if any(self._mailboxes[pid] for pid in self._mailboxes):
-            return True
-        return any(self._next_mailboxes[pid] for pid in self._next_mailboxes)
+        return self._pending_messages > 0
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationStats:
@@ -181,6 +183,7 @@ class RoundEngine:
                 mailbox = self._mailboxes[pid]
                 if mailbox:
                     self._mailboxes[pid] = []
+                    self._pending_messages -= len(mailbox)
                     process.on_messages(ctx, mailbox)
                 process.on_round(ctx)
             self._finish_round()

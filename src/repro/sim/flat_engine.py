@@ -1,0 +1,244 @@
+"""Flat, array-based lockstep execution of the one-to-one protocol.
+
+**Object engine vs flat engine.** :class:`repro.sim.engine.RoundEngine`
+is the general simulator: it runs *any* :class:`~repro.sim.node.Process`
+subclass, supports peersim's randomized activation order, observers, and
+the async variants — and pays for that generality in Python objects. A
+single protocol round allocates a ``(sender, payload)`` tuple per
+message, a fresh list per delivered mailbox, a sorted pid list per
+round, and touches every process (``on_round``) even when the network is
+quiescent around it. :class:`FlatOneToOneEngine` is the specialised
+counterpart: it hard-codes Algorithm 1 over a
+:class:`~repro.graph.csr.CSRGraph` and keeps **all** protocol state in
+flat arrays —
+
+* ``core[i]`` — node ``i``'s current estimate (the object engine's
+  ``KCoreNode.core``);
+* ``est[e]`` — the estimate the owner of directed edge ``e`` last heard
+  from ``targets[e]`` (the per-node ``est`` dicts, flattened onto the
+  CSR edge array; the sentinel ``Δ + 1`` plays the role of +∞);
+* ``incoming[e]`` + a slot list — next round's mailboxes: a message to
+  edge slot ``e`` is one array write, no tuple, no list;
+* a frontier deque of nodes whose ``est`` changed — only those
+  recompute, so quiescent regions cost nothing per round;
+* one shared scratch buffer for ``computeIndex``'s buckets.
+
+**Semantics.** The engine is a bit-exact replay of
+``RoundEngine(mode="lockstep")`` driving ``KCoreNode`` processes:
+coreness values, executed round count, execution time, per-round send
+counts, and per-node message counts all match exactly (asserted by
+``tests/test_flat_equivalence.py``). This holds because lockstep rounds
+are order-independent within a round — message folding is a min, and
+sends are buffered for the next round — so replacing "activate every
+process in pid order" with "drain the frontier" changes no observable
+state.
+
+**When is each selected?** ``run_one_to_one(engine="flat")`` routes
+here; it requires ``mode="lockstep"`` and no observers. Use the flat
+path for scale (large graphs, benchmarks, as the substrate for sharded
+batch processing); use the object engine when you need peersim
+activation semantics, observers/tracing hooks, failure injection, or
+the async engine — i.e. fidelity features over throughput.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from array import array
+from collections import deque
+
+from repro.core.compute_index import compute_index
+from repro.errors import ConvergenceError
+from repro.graph.csr import CSRGraph
+from repro.sim.metrics import SimulationStats
+
+__all__ = ["FlatOneToOneEngine"]
+
+
+class FlatOneToOneEngine:
+    """Algorithm 1 over CSR arrays, lockstep delivery discipline.
+
+    Parameters mirror the relevant subset of :class:`RoundEngine`:
+    ``max_rounds`` bounds the run (exceeding it raises
+    :class:`ConvergenceError` when ``strict``, else returns a partial
+    result flagged ``converged=False``), ``optimize_sends`` enables the
+    Section 3.1.2 message filter.
+
+    After :meth:`run`, :attr:`core` holds the coreness per compact node
+    index (``csr.ids[i]`` is the original id).
+    """
+
+    __slots__ = ("csr", "optimize_sends", "max_rounds", "strict", "core", "stats")
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        optimize_sends: bool = True,
+        max_rounds: int = 1_000_000,
+        strict: bool = True,
+    ) -> None:
+        self.csr = csr
+        self.optimize_sends = optimize_sends
+        self.max_rounds = max_rounds
+        self.strict = strict
+        self.core: array = array("q")
+        self.stats = SimulationStats()
+
+    # ------------------------------------------------------------------
+    def coreness(self) -> dict[int, int]:
+        """``{original node id: coreness}`` after :meth:`run`."""
+        ids = self.csr.ids
+        core = self.core
+        return {ids[i]: core[i] for i in range(len(ids))}
+
+    def _export_messages(self, sent: array) -> None:
+        """Fold the per-node send counters into the stats object."""
+        ids = self.csr.ids
+        per_process = self.stats.sent_per_process
+        total = 0
+        for i, count in enumerate(sent):
+            if count:
+                per_process[ids[i]] = count
+                total += count
+        self.stats.total_messages = total
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationStats:
+        """Run to quiescence (or ``max_rounds``); returns the stats.
+
+        The replay skips work the object engine does without observable
+        effect, using one extra array: ``sup[v]`` counts the slots in
+        ``v``'s slice with ``est >= core[v]``. Since ``computeIndex``
+        lowers ``core[v]`` iff fewer than ``core[v]`` neighbours have
+        estimates ``>= core[v]`` (its suffix-count ``count[k] < k``
+        test), a delivery needs a recompute only when it drops ``sup``
+        below ``core`` — every other message is a single array write.
+        After each recompute ``sup`` is re-read from the suffix-summed
+        scratch buffer (``scratch[t]`` is exactly ``#{est >= t}``), which
+        restores the invariant ``sup >= core`` at every round boundary.
+        """
+        start = _time.perf_counter()
+        csr = self.csr
+        stats = self.stats
+        n = csr.num_nodes
+        offsets = csr.offsets
+        targets = csr.targets
+        mirror = csr.mirror()
+        owner = csr.edge_owners()
+        num_slots = len(targets)
+        optimize = self.optimize_sends
+
+        # est[e] starts at the +∞ sentinel: strictly above any payload
+        # (payloads are estimates, bounded by Δ), so the first message on
+        # an edge always records, the send filter never suppresses on an
+        # unheard-from neighbour, and computeIndex clamps it to k just as
+        # it clamps the object engine's `core + 1` default.
+        sentinel = csr.max_degree() + 1
+        est = array("q", [sentinel]) * num_slots
+        incoming = array("q", [0]) * num_slots
+        core = self.core = array("q", [0]) * n
+        sup = array("q", [0]) * n
+        sent = array("q", [0]) * n
+        est_view = memoryview(est) if num_slots else est
+
+        # mailboxes: slots that received a message, double-buffered
+        slots_now: list[int] = []
+        slots_next: list[int] = []
+        in_frontier = bytearray(n)
+        frontier: deque[int] = deque()
+        frontier_pop = frontier.popleft
+        frontier_push = frontier.append
+        scratch: list[int] = []
+        _compute_index = compute_index
+
+        # Round 1: every node initialises to its degree and broadcasts
+        # it on every edge — 2m messages, one per slot, no buffering
+        # needed because round 2 below reads the sender degrees straight
+        # from the CSR offsets.
+        rnd = 1
+        sends = num_slots
+        for i in range(n):
+            core[i] = sent[i] = offsets[i + 1] - offsets[i]
+        degree = array("q", core)
+        stats.sends_per_round.append(sends)
+        if sends:
+            stats.execution_time += 1
+
+        first_delivery = True
+        while sends:
+            if rnd >= self.max_rounds:
+                stats.converged = False
+                self._export_messages(sent)
+                stats.wall_seconds = _time.perf_counter() - start
+                if self.strict:
+                    raise ConvergenceError(rnd)
+                return stats
+            rnd += 1
+            if first_delivery:
+                # Round 2: every slot carries its sender's degree.
+                first_delivery = False
+                for v in range(n):
+                    lo = offsets[v]
+                    hi = offsets[v + 1]
+                    k = hi - lo
+                    s = 0
+                    for e in range(lo, hi):
+                        d = degree[targets[e]]
+                        est[e] = d
+                        if d >= k:
+                            s += 1
+                    sup[v] = s
+                    if s < k:
+                        in_frontier[v] = 1
+                        frontier_push(v)
+            else:
+                # fold last round's sends into est; only deliveries that
+                # push a node's support below its core need a recompute
+                slots_now, slots_next = slots_next, slots_now
+                for slot in slots_now:
+                    value = incoming[slot]
+                    old = est[slot]
+                    if value < old:
+                        est[slot] = value
+                        v = owner[slot]
+                        k = core[v]
+                        if old >= k and value < k:
+                            s = sup[v] - 1
+                            sup[v] = s
+                            if s < k and not in_frontier[v]:
+                                in_frontier[v] = 1
+                                frontier_push(v)
+                slots_now.clear()
+            # recompute + broadcast: only frontier nodes do any work
+            sends = 0
+            while frontier:
+                v = frontier_pop()
+                in_frontier[v] = 0
+                lo = offsets[v]
+                hi = offsets[v + 1]
+                k = core[v]
+                t = _compute_index(est_view[lo:hi], k, scratch)
+                # scratch is the suffix-summed bucket array of that call:
+                # scratch[t] == #{slots with est >= t}, the fresh support
+                sup[v] = scratch[t]
+                if t < k:
+                    core[v] = t
+                    count = 0
+                    for e in range(lo, hi):
+                        if optimize and t >= est[e]:
+                            continue
+                        slot = mirror[e]
+                        incoming[slot] = t
+                        slots_next.append(slot)
+                        count += 1
+                    if count:
+                        sent[v] += count
+                        sends += count
+            stats.sends_per_round.append(sends)
+            if sends:
+                stats.execution_time += 1
+
+        stats.rounds_executed = rnd
+        self._export_messages(sent)
+        stats.wall_seconds = _time.perf_counter() - start
+        return stats
