@@ -1,9 +1,18 @@
 #!/usr/bin/env python
 """Flat-engine vs object-engine throughput on the one-to-one protocol.
 
-Runs ``run_one_to_one(mode="lockstep")`` through both execution paths —
-the general object engine (``engine="round"``) and the CSR array fast
-path (``engine="flat"``) — on three graph families:
+Runs ``run_one_to_one`` through both execution paths — the general
+object engine (``engine="round"``) and the CSR array fast path
+(``engine="flat"``) — under both delivery disciplines:
+
+* ``lockstep`` — the synchronous Section-4 model (deterministic
+  activation order, messages delivered next round);
+* ``peersim`` — the randomized-activation cycle semantics of the
+  Section-5 experiments; the flat replay consumes the identical RNG
+  stream, so every run here is *the same run* as the object engine's,
+  per seed.
+
+on three graph families:
 
 * ``er`` — Erdős–Rényi, avg degree ≈ 8 (the uniform-sparse regime);
 * ``ba`` — Barabási–Albert, m = 5 (heavy-tailed social/web regime);
@@ -14,9 +23,9 @@ path (``engine="flat"``) — on three graph families:
 
 Each run is timed end-to-end (including process construction / CSR
 conversion), reports nodes/sec, cross-checks that both engines return
-identical coreness (and the BZ oracle for converged runs), and writes
-everything to ``BENCH_flat.json``. The headline figure is the speedup
-at N = 50 000; the target is >= 10x.
+identical coreness *and statistics* (and the BZ oracle for converged
+runs), and writes everything to ``BENCH_flat.json``. The headline
+figures are the best speedups at N = 50 000 per mode.
 
 Usage::
 
@@ -24,8 +33,10 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_flat_vs_object.py --smoke    # CI
 
 ``--smoke`` shrinks everything to a seconds-long equivalence + sanity
-run (used by CI to fail loudly on fast-path regressions); the speedup
-threshold is only enforced on full runs via ``--require-speedup``.
+run covering both modes (used by CI to fail loudly on fast-path
+regressions — including any drift of the peersim RNG replay); the
+speedup threshold is only enforced on full runs via
+``--require-speedup``.
 """
 
 from __future__ import annotations
@@ -54,8 +65,10 @@ FAMILIES = {
     "worst-case": lambda n, seed: gen.worst_case_graph(n),
 }
 
+MODES = ("lockstep", "peersim")
 
-def time_run(graph, engine: str, fixed_rounds: int | None, reps: int):
+
+def time_run(graph, engine, mode, seed, fixed_rounds, reps):
     """Best-of-``reps`` wall time for one engine; returns (secs, result).
 
     Each rep runs on a fresh ``graph.copy()`` (copied outside the timed
@@ -67,7 +80,7 @@ def time_run(graph, engine: str, fixed_rounds: int | None, reps: int):
     for _ in range(reps):
         run_graph = graph.copy()
         config = OneToOneConfig(
-            mode="lockstep", engine=engine, fixed_rounds=fixed_rounds
+            mode=mode, engine=engine, seed=seed, fixed_rounds=fixed_rounds
         )
         start = time.perf_counter()
         result = run_one_to_one(run_graph, config)
@@ -76,37 +89,43 @@ def time_run(graph, engine: str, fixed_rounds: int | None, reps: int):
     return best, result
 
 
-def bench_one(family: str, n: int, seed: int, reps: int) -> dict:
+def bench_one(family: str, n: int, seed: int, reps: int, mode: str) -> dict:
     graph = FAMILIES[family](n, seed)
     fixed_rounds = WORST_CASE_ROUNDS if family == "worst-case" else None
 
-    obj_secs, obj_result = time_run(graph, "round", fixed_rounds, reps)
-    flat_secs, flat_result = time_run(graph, "flat", fixed_rounds, reps)
+    obj_secs, obj_result = time_run(
+        graph, "round", mode, seed, fixed_rounds, reps
+    )
+    flat_secs, flat_result = time_run(
+        graph, "flat", mode, seed, fixed_rounds, reps
+    )
 
     if flat_result.coreness != obj_result.coreness:
         raise AssertionError(
-            f"flat/object coreness mismatch on {family} n={n}"
+            f"flat/object coreness mismatch on {family} n={n} mode={mode}"
         )
     stats_match = (
         flat_result.stats.rounds_executed == obj_result.stats.rounds_executed
+        and flat_result.stats.execution_time == obj_result.stats.execution_time
         and flat_result.stats.sends_per_round == obj_result.stats.sends_per_round
         and flat_result.stats.sent_per_process == obj_result.stats.sent_per_process
+        and flat_result.stats.converged == obj_result.stats.converged
     )
     if not stats_match:
         raise AssertionError(
-            f"flat/object stats mismatch on {family} n={n}"
+            f"flat/object stats mismatch on {family} n={n} mode={mode}"
         )
     if fixed_rounds is None and flat_result.coreness != batagelj_zaversnik(graph):
-        raise AssertionError(f"flat coreness != BZ oracle on {family} n={n}")
+        raise AssertionError(
+            f"flat coreness != BZ oracle on {family} n={n} mode={mode}"
+        )
 
     return {
         "family": family,
+        "mode": mode,
         "n": graph.num_nodes,
         "edges": graph.num_edges,
-        # truncated (fixed_rounds) runs leave stats.rounds_executed at 0
-        # by engine contract; the per-round send list always has one
-        # entry per executed round, so report its length instead
-        "rounds_executed": len(flat_result.stats.sends_per_round),
+        "rounds_executed": flat_result.stats.rounds_executed,
         "total_messages": flat_result.stats.total_messages,
         "fixed_rounds": fixed_rounds,
         "object_seconds": round(obj_secs, 6),
@@ -115,6 +134,19 @@ def bench_one(family: str, n: int, seed: int, reps: int) -> dict:
         "flat_nodes_per_sec": round(graph.num_nodes / flat_secs, 1),
         "speedup": round(obj_secs / flat_secs, 2),
         "verified": True,
+    }
+
+
+def _mode_summary(results: list[dict], top_n: int, mode: str) -> dict:
+    at_top = [r for r in results if r["n"] >= top_n and r["mode"] == mode]
+    best = max((r["speedup"] for r in at_top), default=0.0)
+    geo = 1.0
+    for r in at_top:
+        geo *= r["speedup"]
+    geo = geo ** (1.0 / len(at_top)) if at_top else 0.0
+    return {
+        "best_speedup_at_largest_n": best,
+        "geomean_speedup_at_largest_n": round(geo, 2),
     }
 
 
@@ -132,13 +164,28 @@ def main(argv=None) -> int:
         default=None,
         help="override node counts (default: 5000 20000 50000)",
     )
+    parser.add_argument(
+        "--modes",
+        nargs="+",
+        default=None,
+        choices=MODES,
+        help="subset of delivery modes (default: both)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--reps", type=int, default=1)
     parser.add_argument(
         "--require-speedup",
         type=float,
         default=None,
-        help="exit nonzero unless the best 50k speedup meets this bound",
+        help="exit nonzero unless the best lockstep speedup at the "
+        "largest size meets this bound",
+    )
+    parser.add_argument(
+        "--require-peersim-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero unless the best peersim speedup at the "
+        "largest size meets this bound",
     )
     parser.add_argument(
         "--out",
@@ -149,41 +196,43 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     sizes = args.sizes or ([1000] if args.smoke else [5000, 20000, 50000])
+    modes = tuple(args.modes) if args.modes else MODES
     results = []
     for n in sizes:
         for family in FAMILIES:
-            row = bench_one(family, n, args.seed, args.reps)
-            results.append(row)
-            print(
-                f"{family:>10s} n={row['n']:>6d} m={row['edges']:>7d} "
-                f"rounds={row['rounds_executed']:>4d} | "
-                f"object {row['object_seconds']:8.3f}s "
-                f"({row['object_nodes_per_sec']:>10.0f} nodes/s) | "
-                f"flat {row['flat_seconds']:8.3f}s "
-                f"({row['flat_nodes_per_sec']:>10.0f} nodes/s) | "
-                f"{row['speedup']:6.2f}x",
-                flush=True,
-            )
+            for mode in modes:
+                row = bench_one(family, n, args.seed, args.reps, mode)
+                results.append(row)
+                print(
+                    f"{family:>10s}/{mode:<8s} n={row['n']:>6d} "
+                    f"m={row['edges']:>7d} "
+                    f"rounds={row['rounds_executed']:>4d} | "
+                    f"object {row['object_seconds']:8.3f}s "
+                    f"({row['object_nodes_per_sec']:>10.0f} nodes/s) | "
+                    f"flat {row['flat_seconds']:8.3f}s "
+                    f"({row['flat_nodes_per_sec']:>10.0f} nodes/s) | "
+                    f"{row['speedup']:6.2f}x",
+                    flush=True,
+                )
 
     top_n = max(sizes)
-    at_top = [r for r in results if r["n"] >= top_n]
-    best = max((r["speedup"] for r in at_top), default=0.0)
-    geo = 1.0
-    for r in at_top:
-        geo *= r["speedup"]
-    geo = geo ** (1.0 / len(at_top)) if at_top else 0.0
+    by_mode = {mode: _mode_summary(results, top_n, mode) for mode in modes}
+    best_overall = max(
+        (s["best_speedup_at_largest_n"] for s in by_mode.values()), default=0.0
+    )
     summary = {
         "largest_n": top_n,
-        "best_speedup_at_largest_n": best,
-        "geomean_speedup_at_largest_n": round(geo, 2),
+        "best_speedup_at_largest_n": best_overall,
+        "by_mode": by_mode,
         "target_speedup": 10.0,
-        "target_met": best >= 10.0,
+        "target_met": best_overall >= 10.0,
     }
     payload = {
-        "benchmark": "flat engine vs object engine, one-to-one lockstep",
+        "benchmark": "flat engine vs object engine, one-to-one protocol",
         "smoke": args.smoke,
         "seed": args.seed,
         "reps": args.reps,
+        "modes": list(modes),
         "results": results,
         "summary": summary,
     }
@@ -191,20 +240,42 @@ def main(argv=None) -> int:
     with open(out_path, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
-    print(
-        f"\nbest speedup at n={top_n}: {best:.2f}x "
-        f"(geomean {summary['geomean_speedup_at_largest_n']:.2f}x) "
-        f"-> {out_path}"
-    )
-
-    if args.require_speedup is not None and best < args.require_speedup:
+    for mode in modes:
+        s = by_mode[mode]
         print(
-            f"FAIL: best speedup {best:.2f}x < required "
-            f"{args.require_speedup:.2f}x",
-            file=sys.stderr,
+            f"\n{mode}: best speedup at n={top_n}: "
+            f"{s['best_speedup_at_largest_n']:.2f}x "
+            f"(geomean {s['geomean_speedup_at_largest_n']:.2f}x)"
         )
-        return 1
-    return 0
+    print(f"-> {out_path}")
+
+    failed = False
+    checks = (
+        ("lockstep", args.require_speedup),
+        ("peersim", args.require_peersim_speedup),
+    )
+    for mode, bound in checks:
+        if bound is None:
+            continue
+        if mode not in by_mode:
+            # a speedup gate on a mode that never ran is a
+            # misconfiguration, not a pass
+            print(
+                f"FAIL: speedup bound given for mode {mode!r} but that "
+                f"mode was not benchmarked (ran: {list(by_mode)})",
+                file=sys.stderr,
+            )
+            failed = True
+            continue
+        best = by_mode[mode]["best_speedup_at_largest_n"]
+        if best < bound:
+            print(
+                f"FAIL: best {mode} speedup {best:.2f}x < required "
+                f"{bound:.2f}x",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

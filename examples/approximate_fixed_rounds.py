@@ -33,11 +33,17 @@ def main() -> None:
     )
 
     # -- fixed-round budgets ------------------------------------------
+    # budgets run on the flat CSR fast path (engine="flat"): under
+    # peersim mode it replays the object engine's randomized activation
+    # order RNG-identically, so the truncated estimates per budget are
+    # bit-for-bit the ones the object engine would produce — checked
+    # below for one budget.
     rows = []
     for budget in (2, 5, 10, 20, 40, 80):
         approx = run_fixed_rounds(
-            graph, rounds=budget, config=OneToOneConfig(seed=3)
+            graph, rounds=budget, config=OneToOneConfig(seed=3, engine="flat")
         )
+        assert approx.stats.rounds_executed <= budget
         errors = [approx.coreness[u] - truth[u] for u in truth]
         wrong = sum(1 for e in errors if e)
         rows.append(
@@ -51,8 +57,15 @@ def main() -> None:
     print(format_table(
         ("round budget", "max error", "avg error", "nodes wrong"),
         rows,
-        title="fixed-round termination: accuracy vs budget",
+        title="fixed-round termination: accuracy vs budget (flat engine)",
     ))
+    check = run_fixed_rounds(graph, rounds=10, config=OneToOneConfig(seed=3))
+    flat10 = run_fixed_rounds(
+        graph, rounds=10, config=OneToOneConfig(seed=3, engine="flat")
+    )
+    assert flat10.coreness == check.coreness
+    assert flat10.stats.sends_per_round == check.stats.sends_per_round
+    print("flat truncated run is bit-identical to the object engine: OK\n")
     print(
         "\nestimates only ever over-approximate (safety, Theorem 2), so "
         "an early stop is a usable upper bound — by ~20 rounds the map "

@@ -69,12 +69,15 @@ def table1_row(
     seed: int = 0,
     optimize_sends: bool = True,
     exact_diameter_limit: int = 2000,
+    engine: str = "round",
 ) -> Table1Row:
     """Compute one Table-1 row: stats + repeated one-to-one runs.
 
     The paper averages 50 repetitions that differ in the randomized
     operation order; ``repetitions`` trades fidelity for CI time (the
-    spread stabilises quickly).
+    spread stabilises quickly). ``engine="flat"`` runs the repetitions
+    on the CSR fast path — bit-identical per seed to the object engine
+    (same t/m spreads), just faster at scale.
     """
     truth = batagelj_zaversnik(graph)
     stats = compute_stats(
@@ -88,6 +91,7 @@ def table1_row(
             graph,
             OneToOneConfig(
                 mode="peersim",
+                engine=engine,
                 optimize_sends=optimize_sends,
                 seed=derive_seed(seed, rep),
             ),

@@ -39,6 +39,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dec.add_argument("--hosts", type=int, default=4,
                      help="host count (one-to-many only)")
+    dec.add_argument(
+        "--engine", default="round", choices=("round", "flat", "async"),
+        help="execution engine for one-to-one (flat = CSR fast path)",
+    )
+    dec.add_argument(
+        "--mode", default=None, choices=("peersim", "lockstep"),
+        help="activation mode for the round/flat engines; applies to "
+        "one-to-one (default peersim) and one-to-one-flat (default "
+        "lockstep)",
+    )
     dec.add_argument("--seed", type=int, default=0)
     dec.add_argument("--scale", type=float, default=1.0,
                      help="dataset scale factor (synthetic datasets only)")
@@ -58,6 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--seed", type=int, default=0)
     table1.add_argument(
         "--only", nargs="*", default=None, help="subset of dataset names"
+    )
+    table1.add_argument(
+        "--engine", default="round", choices=("round", "flat"),
+        help="run the repetitions on the object or the flat CSR engine "
+        "(bit-identical results; flat is faster at scale)",
     )
 
     sub.add_parser("datasets", help="list registered datasets")
@@ -88,6 +103,13 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     options: dict[str, object] = {}
     if args.algorithm == "one-to-one":
         options["seed"] = args.seed
+        options["engine"] = args.engine
+        if args.engine != "async" and args.mode is not None:
+            options["mode"] = args.mode
+    elif args.algorithm == "one-to-one-flat":
+        options["seed"] = args.seed
+        if args.mode is not None:
+            options["mode"] = args.mode
     elif args.algorithm == "one-to-many":
         options.update(seed=args.seed, num_hosts=args.hosts)
     elif args.algorithm == "pregel":
@@ -151,7 +173,10 @@ def _cmd_table1(args: argparse.Namespace) -> int:
             continue
         graph = spec.build(scale=args.scale, seed=args.seed)
         row = table1_row(
-            graph, repetitions=args.repetitions, seed=args.seed
+            graph,
+            repetitions=args.repetitions,
+            seed=args.seed,
+            engine=args.engine,
         )
         rows.append(row.as_list())
         print(f"... {spec.name} done", file=sys.stderr)

@@ -40,8 +40,11 @@ def decompose(
     * ``"one-to-one"`` — the distributed node protocol (Algorithm 1);
       options are :class:`~repro.core.one_to_one.OneToOneConfig` fields.
     * ``"one-to-one-flat"`` — the same protocol on the CSR array fast
-      path (lockstep semantics; 2-15x throughput depending on graph
-      family, see ``BENCH_flat.json``).
+      path (2-15x throughput depending on graph family and mode, see
+      ``BENCH_flat.json``). Defaults to ``mode="lockstep"``; pass
+      ``mode="peersim"`` for the Section-5 randomized-activation
+      semantics — the flat replay is RNG-identical to ``"one-to-one"``
+      with the same seed.
     * ``"one-to-many"`` — the distributed host protocol (Algorithms
       3-5); options are :class:`~repro.core.one_to_many.OneToManyConfig`
       fields.

@@ -237,7 +237,9 @@ class OneToManyConfig:
     mode: str = "peersim"
     #: ``"round"`` (default) or ``"async"`` — host processes are engine
     #: agnostic, so the one-to-many protocol also runs under arbitrary
-    #: per-message latencies.
+    #: per-message latencies. The async engine has no rounds, so
+    #: combining it with ``fixed_rounds``, ``mode="lockstep"`` or
+    #: ``observers`` raises :class:`ConfigurationError`.
     engine: str = "round"
     seed: int | None = 0
     max_rounds: int = 1_000_000
@@ -296,6 +298,24 @@ def run_one_to_many(
     ``stats.extra["estimates_sent_per_node"]`` — the Figure-5 overhead.
     """
     config = config or OneToManyConfig()
+    if config.engine == "async":
+        # the async engine has no rounds: silently ignoring round-engine
+        # knobs would report misleading results, so reject them instead
+        if config.fixed_rounds is not None:
+            raise ConfigurationError(
+                "fixed_rounds has no meaning under engine='async' "
+                "(there are no rounds)"
+            )
+        if config.mode == "lockstep":
+            raise ConfigurationError(
+                "mode='lockstep' has no meaning under engine='async'; "
+                "activation modes belong to the round engines"
+            )
+        if config.observers:
+            raise ConfigurationError(
+                "observers are round-engine hooks and are not invoked "
+                "by engine='async'; use engine='round' for traced runs"
+            )
     if assignment is None:
         assignment = assign(
             graph, config.num_hosts, policy=config.policy, seed=config.seed

@@ -131,8 +131,14 @@ class OneToOneConfig:
     engine:
         ``"round"`` (object engine), ``"async"`` (event-driven,
         arbitrary latencies) or ``"flat"`` (the array fast path of
-        :mod:`repro.sim.flat_engine`; lockstep-only, no observers,
-        bit-identical results to ``engine="round"`` + lockstep).
+        :mod:`repro.sim.flat_engine`; supports both ``mode`` values, no
+        observers, bit-identical results — including the RNG-driven
+        activation order under ``mode="peersim"`` — to
+        ``engine="round"`` with the same mode and seed).
+        The async engine has no rounds and no activation modes, so
+        combining it with ``fixed_rounds``, ``mode="lockstep"`` or
+        ``observers`` raises :class:`ConfigurationError`; likewise
+        ``latency`` is async-only.
     max_rounds:
         Convergence guard; runs that exceed it raise unless ``strict``
         is off, in which case a partial (approximate) result returns.
@@ -181,6 +187,31 @@ def run_one_to_one(
     {0: 3, 1: 3, 2: 3, 3: 3}
     """
     config = config or OneToOneConfig()
+
+    if config.engine == "async":
+        # the async engine has no rounds: silently ignoring round-engine
+        # knobs would report misleading results, so reject them instead
+        if config.fixed_rounds is not None:
+            raise ConfigurationError(
+                "fixed_rounds has no meaning under engine='async' "
+                "(there are no rounds); bound the run with "
+                "async_max_time instead"
+            )
+        if config.mode == "lockstep":
+            raise ConfigurationError(
+                "mode='lockstep' has no meaning under engine='async'; "
+                "activation modes belong to the round engines"
+            )
+        if config.observers:
+            raise ConfigurationError(
+                "observers are round-engine hooks and are not invoked "
+                "by engine='async'; use engine='round' for traced runs"
+            )
+    elif config.latency is not None:
+        raise ConfigurationError(
+            f"latency applies to engine='async' only, not "
+            f"engine={config.engine!r}"
+        )
 
     if config.engine == "flat":
         from repro.core.one_to_one_flat import run_one_to_one_flat

@@ -1,10 +1,14 @@
 """Flat fast path for Algorithm 1 (``engine="flat"``).
 
 Thin glue between the protocol-level API (:class:`OneToOneConfig`,
-:class:`DecompositionResult`) and the array engine in
-:mod:`repro.sim.flat_engine`. The flat path is lockstep-only and does
-not support observers — both are fidelity features of the object
-engine; see the flat-engine module docstring for the tradeoff.
+:class:`DecompositionResult`) and the array engines in
+:mod:`repro.sim.flat_engine`. Both delivery disciplines are supported:
+``mode="lockstep"`` routes to :class:`FlatOneToOneEngine` (the
+Section-4 synchronous model) and ``mode="peersim"`` to
+:class:`FlatPeerSimEngine` (the randomized-activation cycle semantics
+of the Section-5 experiments, RNG-identical to the object engine for
+every seed). Observers are not supported — a fidelity feature of the
+object engine; see the flat-engine module docstring for the tradeoff.
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ from repro.core.result import DecompositionResult
 from repro.errors import ConfigurationError
 from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
-from repro.sim.flat_engine import FlatOneToOneEngine
+from repro.sim.flat_engine import FlatOneToOneEngine, FlatPeerSimEngine
 
 __all__ = ["run_one_to_one_flat"]
 
@@ -21,12 +25,13 @@ __all__ = ["run_one_to_one_flat"]
 def run_one_to_one_flat(
     graph: "Graph | CSRGraph", config=None
 ) -> DecompositionResult:
-    """Run Algorithm 1 through the flat array engine.
+    """Run Algorithm 1 through the flat array engines.
 
     Accepts either a :class:`Graph` (converted to CSR internally) or a
     prebuilt :class:`CSRGraph` (conversion amortised by the caller).
     Produces bit-identical coreness and statistics to
-    ``run_one_to_one(mode="lockstep", engine="round")``.
+    ``run_one_to_one(engine="round")`` under the same ``mode`` and
+    ``seed``.
 
     >>> from repro.graph.generators import clique_graph
     >>> run_one_to_one_flat(clique_graph(4)).coreness
@@ -35,32 +40,51 @@ def run_one_to_one_flat(
     from repro.core.one_to_one import OneToOneConfig
 
     config = config or OneToOneConfig(mode="lockstep", engine="flat")
-    if config.mode != "lockstep":
+    if config.mode not in ("lockstep", "peersim"):
         raise ConfigurationError(
-            "the flat engine replays lockstep semantics only; "
-            "pass OneToOneConfig(mode='lockstep', engine='flat') "
-            "or use engine='round' for peersim runs"
+            f"unknown engine mode {config.mode!r}; the flat engine "
+            "replays 'lockstep' or 'peersim' semantics"
         )
     if config.observers:
         raise ConfigurationError(
-            "the flat engine does not support observers; "
+            "the flat engines do not support observers; "
             "use engine='round' for traced runs"
         )
-    csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_graph(graph)
+    if isinstance(graph, CSRGraph):
+        csr = graph
+        activation_ids = None
+    else:
+        csr = CSRGraph.from_graph(graph)
+        # the object engine shuffles pids in process-dict insertion
+        # order == graph.nodes() order; replaying the RNG stream
+        # bit-exactly requires starting from that same base sequence
+        activation_ids = (
+            list(graph.nodes()) if config.mode == "peersim" else None
+        )
     max_rounds = config.max_rounds
     strict = config.strict
     if config.fixed_rounds is not None:
         max_rounds = config.fixed_rounds
         strict = False
-    engine = FlatOneToOneEngine(
-        csr,
-        optimize_sends=config.optimize_sends,
-        max_rounds=max_rounds,
-        strict=strict,
-    )
+    if config.mode == "peersim":
+        engine: FlatOneToOneEngine | FlatPeerSimEngine = FlatPeerSimEngine(
+            csr,
+            seed=config.seed,
+            optimize_sends=config.optimize_sends,
+            max_rounds=max_rounds,
+            strict=strict,
+            activation_ids=activation_ids,
+        )
+    else:
+        engine = FlatOneToOneEngine(
+            csr,
+            optimize_sends=config.optimize_sends,
+            max_rounds=max_rounds,
+            strict=strict,
+        )
     stats = engine.run()
     return DecompositionResult(
         coreness=engine.coreness(),
         stats=stats,
-        algorithm="one-to-one/lockstep-flat",
+        algorithm=f"one-to-one/{config.mode}-flat",
     )

@@ -30,6 +30,7 @@ which is the honest way to compare mechanisms.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -78,17 +79,15 @@ def run_fixed_rounds(
     """Stop after exactly ``rounds`` rounds; estimates may be approximate.
 
     The returned estimates still over-approximate the true coreness
-    (safety holds at every prefix of the execution, Theorem 2).
+    (safety holds at every prefix of the execution, Theorem 2). All
+    other ``config`` fields are honoured — in particular
+    ``engine="flat"`` truncates on the CSR fast path with stats
+    bit-identical to the object engine.
     """
     if rounds < 1:
         raise ConfigurationError("rounds must be >= 1")
-    config = config or OneToOneConfig()
-    config = OneToOneConfig(
-        mode=config.mode,
-        optimize_sends=config.optimize_sends,
-        seed=config.seed,
-        fixed_rounds=rounds,
-        observers=config.observers,
+    config = dataclasses.replace(
+        config or OneToOneConfig(), fixed_rounds=rounds
     )
     return run_one_to_one_import(graph, config)
 

@@ -16,11 +16,17 @@ provides:
   with per-message latencies, used to check that the protocol only
   needs the reliable channels assumed by the system model (Section 2),
   not round synchrony.
+* :class:`repro.sim.flat_engine.FlatOneToOneEngine` and
+  :class:`repro.sim.flat_engine.FlatPeerSimEngine` — array fast paths
+  that replay the round engine's lockstep and peersim disciplines
+  bit-identically (the peersim one consumes the identical RNG stream)
+  over a :class:`~repro.graph.csr.CSRGraph`.
 """
 
 from repro.sim.node import Context, Process
 from repro.sim.engine import RoundEngine
 from repro.sim.async_engine import AsyncEngine
+from repro.sim.flat_engine import FlatOneToOneEngine, FlatPeerSimEngine
 from repro.sim.metrics import SimulationStats
 
 __all__ = [
@@ -28,5 +34,7 @@ __all__ = [
     "Context",
     "RoundEngine",
     "AsyncEngine",
+    "FlatOneToOneEngine",
+    "FlatPeerSimEngine",
     "SimulationStats",
 ]

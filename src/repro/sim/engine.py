@@ -165,6 +165,7 @@ class RoundEngine:
                 break
             if self.round >= self.max_rounds:
                 self.stats.converged = False
+                self.stats.rounds_executed = self.round
                 self.stats.wall_seconds = _time.perf_counter() - start
                 if self.strict:
                     raise ConvergenceError(self.round)

@@ -1,15 +1,14 @@
-"""Flat, array-based lockstep execution of the one-to-one protocol.
+"""Flat, array-based execution of the one-to-one protocol.
 
-**Object engine vs flat engine.** :class:`repro.sim.engine.RoundEngine`
+**Object engine vs flat engines.** :class:`repro.sim.engine.RoundEngine`
 is the general simulator: it runs *any* :class:`~repro.sim.node.Process`
-subclass, supports peersim's randomized activation order, observers, and
-the async variants — and pays for that generality in Python objects. A
-single protocol round allocates a ``(sender, payload)`` tuple per
-message, a fresh list per delivered mailbox, a sorted pid list per
-round, and touches every process (``on_round``) even when the network is
-quiescent around it. :class:`FlatOneToOneEngine` is the specialised
-counterpart: it hard-codes Algorithm 1 over a
-:class:`~repro.graph.csr.CSRGraph` and keeps **all** protocol state in
+subclass, supports observers, and the async variants — and pays for that
+generality in Python objects. A single protocol round allocates a
+``(sender, payload)`` tuple per message, a fresh list per delivered
+mailbox, a pid list per round, and touches every process (``on_round``)
+even when the network is quiescent around it. This module provides the
+specialised counterparts: they hard-code Algorithm 1 over a
+:class:`~repro.graph.csr.CSRGraph` and keep **all** protocol state in
 flat arrays —
 
 * ``core[i]`` — node ``i``'s current estimate (the object engine's
@@ -17,42 +16,71 @@ flat arrays —
 * ``est[e]`` — the estimate the owner of directed edge ``e`` last heard
   from ``targets[e]`` (the per-node ``est`` dicts, flattened onto the
   CSR edge array; the sentinel ``Δ + 1`` plays the role of +∞);
-* ``incoming[e]`` + a slot list — next round's mailboxes: a message to
-  edge slot ``e`` is one array write, no tuple, no list;
-* a frontier deque of nodes whose ``est`` changed — only those
-  recompute, so quiescent regions cost nothing per round;
+* ``incoming[e]`` + slot lists — the mailboxes: a message to edge slot
+  ``e`` is one array write, no tuple, no per-message object;
+* ``sup[v]`` — the support counter that lets deliveries skip
+  ``computeIndex`` unless they can actually lower ``core[v]``;
 * one shared scratch buffer for ``computeIndex``'s buckets.
 
-**Semantics.** The engine is a bit-exact replay of
-``RoundEngine(mode="lockstep")`` driving ``KCoreNode`` processes:
-coreness values, executed round count, execution time, per-round send
-counts, and per-node message counts all match exactly (asserted by
-``tests/test_flat_equivalence.py``). This holds because lockstep rounds
-are order-independent within a round — message folding is a min, and
-sends are buffered for the next round — so replacing "activate every
-process in pid order" with "drain the frontier" changes no observable
-state.
+Both delivery disciplines of the object engine are covered:
+
+* :class:`FlatOneToOneEngine` replays ``RoundEngine(mode="lockstep")``
+  — the synchronous Section-4 model. Lockstep rounds are
+  order-independent within a round, so the replay drains a frontier
+  deque instead of activating every process, and quiescent regions cost
+  nothing per round.
+* :class:`FlatPeerSimEngine` replays ``RoundEngine(mode="peersim")`` —
+  PeerSim's cycle semantics used by the Section-5 experiments: a fresh
+  random activation order every round, and messages delivered
+  *immediately*, so a node activated later in a round sees estimates
+  sent earlier in the same round. The engine consumes the **identical
+  RNG stream** (one ``rng.shuffle`` of the same-length pid list per
+  executed round), so for any seed the coreness, round counts,
+  execution time, per-round send counts, and per-node message counts
+  are bit-identical to the object engine — t_avg/t_min/t_max spreads
+  over seeds (Table 1) are exactly reproduced, just faster.
+
+**Semantics.** Bit-exactness is asserted by
+``tests/test_flat_equivalence.py`` (lockstep) and
+``tests/test_flat_peersim_equivalence.py`` (peersim). For lockstep this
+holds because message folding is a min and sends are buffered for the
+next round, so replacing "activate every process in pid order" with
+"drain the frontier" changes no observable state. For peersim the
+activation order *is* observable, so the flat engine replays it
+verbatim from the shared RNG stream.
 
 **When is each selected?** ``run_one_to_one(engine="flat")`` routes
-here; it requires ``mode="lockstep"`` and no observers. Use the flat
-path for scale (large graphs, benchmarks, as the substrate for sharded
-batch processing); use the object engine when you need peersim
-activation semantics, observers/tracing hooks, failure injection, or
-the async engine — i.e. fidelity features over throughput.
+here, choosing the class by ``config.mode``; observers are not
+supported (use the object engine for traced runs, failure injection, or
+the async engine — i.e. fidelity features over throughput).
 """
 
 from __future__ import annotations
 
+import random
 import time as _time
 from array import array
 from collections import deque
+from typing import Sequence
 
 from repro.core.compute_index import compute_index
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, SimulationError
 from repro.graph.csr import CSRGraph
 from repro.sim.metrics import SimulationStats
+from repro.utils.rng import make_rng
 
-__all__ = ["FlatOneToOneEngine"]
+__all__ = ["FlatOneToOneEngine", "FlatPeerSimEngine"]
+
+
+def _export_messages(stats: SimulationStats, ids: array, sent: array) -> None:
+    """Fold flat per-node send counters into the stats object."""
+    per_process = stats.sent_per_process
+    total = 0
+    for i, count in enumerate(sent):
+        if count:
+            per_process[ids[i]] = count
+            total += count
+    stats.total_messages = total
 
 
 class FlatOneToOneEngine:
@@ -90,17 +118,6 @@ class FlatOneToOneEngine:
         ids = self.csr.ids
         core = self.core
         return {ids[i]: core[i] for i in range(len(ids))}
-
-    def _export_messages(self, sent: array) -> None:
-        """Fold the per-node send counters into the stats object."""
-        ids = self.csr.ids
-        per_process = self.stats.sent_per_process
-        total = 0
-        for i, count in enumerate(sent):
-            if count:
-                per_process[ids[i]] = count
-                total += count
-        self.stats.total_messages = total
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationStats:
@@ -168,7 +185,8 @@ class FlatOneToOneEngine:
         while sends:
             if rnd >= self.max_rounds:
                 stats.converged = False
-                self._export_messages(sent)
+                stats.rounds_executed = rnd
+                _export_messages(stats, csr.ids, sent)
                 stats.wall_seconds = _time.perf_counter() - start
                 if self.strict:
                     raise ConvergenceError(rnd)
@@ -239,6 +257,204 @@ class FlatOneToOneEngine:
                 stats.execution_time += 1
 
         stats.rounds_executed = rnd
-        self._export_messages(sent)
+        _export_messages(stats, csr.ids, sent)
+        stats.wall_seconds = _time.perf_counter() - start
+        return stats
+
+
+class FlatPeerSimEngine:
+    """Algorithm 1 over CSR arrays, PeerSim cycle semantics (Section 5).
+
+    A bit-exact, RNG-identical replay of ``RoundEngine(mode="peersim")``
+    driving :class:`~repro.core.one_to_one.KCoreNode` processes: each
+    round shuffles the pid list with the shared RNG stream and activates
+    nodes in that order, and a message reaches its destination's mailbox
+    *immediately* — a node activated later in a round already sees
+    estimates sent earlier in the same round.
+
+    Parameters
+    ----------
+    csr:
+        The graph.
+    seed:
+        Seed (or shared :class:`random.Random`) for the per-round
+        activation order; pass the same value as the object engine's
+        ``seed`` to reproduce a run exactly.
+    activation_ids:
+        Original node ids in the object engine's process-dict insertion
+        order (``list(graph.nodes())``). ``rng.shuffle`` permutes
+        *positions*, so replaying the stream bit-exactly requires
+        starting from the same base sequence. Defaults to ``csr.ids``
+        (ascending original ids) — correct whenever the object engine
+        was built from a graph whose nodes iterate in ascending order.
+    optimize_sends / max_rounds / strict:
+        As in :class:`FlatOneToOneEngine`.
+    """
+
+    __slots__ = (
+        "csr",
+        "seed",
+        "optimize_sends",
+        "max_rounds",
+        "strict",
+        "core",
+        "stats",
+        "_base_order",
+    )
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        seed: int | random.Random | None = 0,
+        optimize_sends: bool = True,
+        max_rounds: int = 1_000_000,
+        strict: bool = True,
+        activation_ids: Sequence[int] | None = None,
+    ) -> None:
+        self.csr = csr
+        self.seed = seed
+        self.optimize_sends = optimize_sends
+        self.max_rounds = max_rounds
+        self.strict = strict
+        self.core: array = array("q")
+        self.stats = SimulationStats()
+        if activation_ids is None:
+            self._base_order = list(range(csr.num_nodes))
+        else:
+            index = csr.index
+            self._base_order = [index(p) for p in activation_ids]
+            if (
+                len(self._base_order) != csr.num_nodes
+                or len(set(self._base_order)) != csr.num_nodes
+            ):
+                raise SimulationError(
+                    "activation_ids must enumerate every node exactly once"
+                )
+
+    # ------------------------------------------------------------------
+    def coreness(self) -> dict[int, int]:
+        """``{original node id: coreness}`` after :meth:`run`."""
+        ids = self.csr.ids
+        core = self.core
+        return {ids[i]: core[i] for i in range(len(ids))}
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationStats:
+        """Run to quiescence (or ``max_rounds``); returns the stats.
+
+        Mailboxes are per-node lists of edge slots (one entry per
+        message, so the undelivered-message count the object engine uses
+        for its quiescence check is ``sum(len(mail[v])))``, tracked
+        incrementally). ``incoming[slot]`` always holds the latest (and,
+        estimates being monotone decreasing, smallest) payload sent over
+        that slot, so folding a mailbox is pure array reads. The same
+        ``sup`` support-counter shortcut as the lockstep engine applies:
+        within one activation the object engine folds the whole mailbox
+        *then* recomputes once, so a recompute can be skipped whenever
+        the folded batch provably leaves ``computeIndex`` at ``core[v]``
+        (support still >= core) — the object engine's recompute returns
+        ``core[v]`` unchanged and sends nothing in exactly those cases.
+        """
+        start = _time.perf_counter()
+        csr = self.csr
+        stats = self.stats
+        n = csr.num_nodes
+        offsets = csr.offsets
+        targets = csr.targets
+        mirror = csr.mirror()
+        num_slots = len(targets)
+        optimize = self.optimize_sends
+        rng = make_rng(self.seed)
+        shuffle = rng.shuffle
+        base = self._base_order
+
+        sentinel = csr.max_degree() + 1
+        est = array("q", [sentinel]) * num_slots
+        incoming = array("q", [0]) * num_slots
+        core = self.core = array("q", [0]) * n
+        sup = array("q", [0]) * n
+        sent = array("q", [0]) * n
+        est_view = memoryview(est) if num_slots else est
+        mail: list[list[int]] = [[] for _ in range(n)]
+        scratch: list[int] = []
+        _compute_index = compute_index
+
+        # Round 1: on_init in shuffled order — every node broadcasts its
+        # degree on every edge, delivered immediately. No activation
+        # reads its mailbox during round 1 (on_init only sends), so the
+        # order cannot influence state; the shuffle still runs to keep
+        # the RNG stream aligned with the object engine.
+        order = base[:]
+        shuffle(order)
+        rnd = 1
+        sends = num_slots
+        pending = num_slots
+        for v in range(n):
+            lo = offsets[v]
+            hi = offsets[v + 1]
+            core[v] = sup[v] = sent[v] = hi - lo
+            if hi > lo:
+                mail[v] = list(range(lo, hi))
+        degree = array("q", core)
+        for e in range(num_slots):
+            incoming[e] = degree[targets[e]]
+        stats.sends_per_round.append(sends)
+        if sends:
+            stats.execution_time += 1
+
+        while sends or pending:
+            if rnd >= self.max_rounds:
+                stats.converged = False
+                stats.rounds_executed = rnd
+                _export_messages(stats, csr.ids, sent)
+                stats.wall_seconds = _time.perf_counter() - start
+                if self.strict:
+                    raise ConvergenceError(rnd)
+                return stats
+            rnd += 1
+            sends = 0
+            order = base[:]
+            shuffle(order)
+            for v in order:
+                box = mail[v]
+                if not box:
+                    continue
+                pending -= len(box)
+                k = core[v]
+                s = sup[v]
+                for slot in box:
+                    value = incoming[slot]
+                    old = est[slot]
+                    if value < old:
+                        est[slot] = value
+                        if old >= k and value < k:
+                            s -= 1
+                box.clear()
+                sup[v] = s
+                if s < k:
+                    lo = offsets[v]
+                    hi = offsets[v + 1]
+                    t = _compute_index(est_view[lo:hi], k, scratch)
+                    sup[v] = scratch[t]
+                    if t < k:
+                        core[v] = t
+                        count = 0
+                        for e in range(lo, hi):
+                            if optimize and t >= est[e]:
+                                continue
+                            slot = mirror[e]
+                            incoming[slot] = t
+                            mail[targets[e]].append(slot)
+                            count += 1
+                        if count:
+                            sent[v] += count
+                            sends += count
+                            pending += count
+            stats.sends_per_round.append(sends)
+            if sends:
+                stats.execution_time += 1
+
+        stats.rounds_executed = rnd
+        _export_messages(stats, csr.ids, sent)
         stats.wall_seconds = _time.perf_counter() - start
         return stats

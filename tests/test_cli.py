@@ -46,6 +46,29 @@ class TestDecompose:
         assert "one-to-one" in out
         assert "rounds=" in out
 
+    def test_one_to_one_flat_defaults_to_lockstep(self, edge_file, capsys):
+        """Without --mode, the documented lockstep default must hold —
+        the CLI must not override api.decompose's setdefault."""
+        assert main(
+            ["decompose", "--edges", edge_file,
+             "--algorithm", "one-to-one-flat"]
+        ) == 0
+        assert "one-to-one/lockstep-flat" in capsys.readouterr().out
+
+    def test_one_to_one_flat_peersim_mode_flag(self, edge_file, capsys):
+        assert main(
+            ["decompose", "--edges", edge_file,
+             "--algorithm", "one-to-one-flat", "--mode", "peersim"]
+        ) == 0
+        assert "one-to-one/peersim-flat" in capsys.readouterr().out
+
+    def test_one_to_one_engine_flag(self, edge_file, capsys):
+        assert main(
+            ["decompose", "--edges", edge_file,
+             "--algorithm", "one-to-one", "--engine", "flat"]
+        ) == 0
+        assert "one-to-one/peersim-flat" in capsys.readouterr().out
+
     def test_one_to_many_hosts_flag(self, edge_file, capsys):
         assert main(
             [

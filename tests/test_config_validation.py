@@ -1,0 +1,102 @@
+"""Meaningless configuration combinations fail fast.
+
+The async engine has no rounds and no activation modes: it used to
+silently ignore ``fixed_rounds``, ``mode`` and ``observers``, returning
+results that looked like they honoured those knobs. Both protocol
+runners now reject such combinations with :class:`ConfigurationError`;
+similarly the round/flat engines reject the async-only ``latency``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.one_to_many import OneToManyConfig, run_one_to_many
+from repro.core.one_to_one import OneToOneConfig, run_one_to_one
+from repro.errors import ConfigurationError
+from repro.graph import generators as gen
+
+
+@pytest.fixture()
+def small_graph():
+    return gen.erdos_renyi_graph(30, 0.15, seed=1)
+
+
+class TestOneToOneAsyncCombos:
+    def test_async_rejects_fixed_rounds(self, small_graph):
+        with pytest.raises(ConfigurationError, match="fixed_rounds"):
+            run_one_to_one(
+                small_graph,
+                OneToOneConfig(engine="async", fixed_rounds=5),
+            )
+
+    def test_async_rejects_lockstep_mode(self, small_graph):
+        with pytest.raises(ConfigurationError, match="lockstep"):
+            run_one_to_one(
+                small_graph,
+                OneToOneConfig(engine="async", mode="lockstep"),
+            )
+
+    def test_async_rejects_observers(self, small_graph):
+        with pytest.raises(ConfigurationError, match="observers"):
+            run_one_to_one(
+                small_graph,
+                OneToOneConfig(
+                    engine="async", observers=(lambda r, e: None,)
+                ),
+            )
+
+    def test_async_with_default_mode_still_runs(self, small_graph):
+        result = run_one_to_one(
+            small_graph, OneToOneConfig(engine="async", seed=3)
+        )
+        assert result.stats.converged
+
+    @pytest.mark.parametrize("engine", ["round", "flat"])
+    def test_round_engines_reject_latency(self, small_graph, engine):
+        with pytest.raises(ConfigurationError, match="latency"):
+            run_one_to_one(
+                small_graph,
+                OneToOneConfig(engine=engine, latency=lambda rng: 0.5),
+            )
+
+    def test_unknown_engine_still_rejected(self, small_graph):
+        with pytest.raises(ConfigurationError):
+            run_one_to_one(small_graph, OneToOneConfig(engine="warp"))
+
+    def test_flat_rejects_unknown_mode(self, small_graph):
+        with pytest.raises(ConfigurationError):
+            run_one_to_one(
+                small_graph, OneToOneConfig(engine="flat", mode="warp")
+            )
+
+
+class TestOneToManyAsyncCombos:
+    def test_async_rejects_fixed_rounds(self, small_graph):
+        with pytest.raises(ConfigurationError, match="fixed_rounds"):
+            run_one_to_many(
+                small_graph,
+                OneToManyConfig(engine="async", fixed_rounds=5),
+            )
+
+    def test_async_rejects_lockstep_mode(self, small_graph):
+        with pytest.raises(ConfigurationError, match="lockstep"):
+            run_one_to_many(
+                small_graph,
+                OneToManyConfig(engine="async", mode="lockstep"),
+            )
+
+    def test_async_rejects_observers(self, small_graph):
+        with pytest.raises(ConfigurationError, match="observers"):
+            run_one_to_many(
+                small_graph,
+                OneToManyConfig(
+                    engine="async", observers=(lambda r, e: None,)
+                ),
+            )
+
+    def test_async_with_default_mode_still_runs(self, small_graph):
+        result = run_one_to_many(
+            small_graph, OneToManyConfig(engine="async", num_hosts=3, seed=2)
+        )
+        assert result.stats.converged

@@ -131,11 +131,19 @@ class TestEdgeCases:
         with pytest.raises(ConvergenceError):
             _lockstep(g, max_rounds=3)
 
-    def test_flat_requires_lockstep(self):
+    def test_flat_peersim_mode_now_supported(self):
+        """mode='peersim' routes to FlatPeerSimEngine (see
+        test_flat_peersim_equivalence.py for its contract); only
+        unknown modes are rejected."""
+        result = run_one_to_one(
+            gen.path_graph(4),
+            OneToOneConfig(mode="peersim", engine="flat", seed=0),
+        )
+        assert result.algorithm == "one-to-one/peersim-flat"
         with pytest.raises(ConfigurationError):
             run_one_to_one(
                 gen.path_graph(4),
-                OneToOneConfig(mode="peersim", engine="flat"),
+                OneToOneConfig(mode="warp", engine="flat"),
             )
 
     def test_flat_rejects_observers(self):

@@ -1,0 +1,172 @@
+"""Truncated (non-strict / fixed-round) runs report honest statistics.
+
+Regression suite for the ``rounds_executed=0`` defect: both
+``RoundEngine.run()`` and the flat engines' ``max_rounds`` early-return
+paths used to skip ``stats.rounds_executed``, so truncated runs claimed
+zero executed rounds and downstream guards (``cli.py``'s
+``if result.stats.rounds_executed:``) silently dropped output. A
+truncated run must report the rounds it actually executed, flag
+``converged=False``, keep one ``sends_per_round`` entry per executed
+round, and return partial coreness that still over-approximates the
+truth (safety, Theorem 2) — identically across the object engine and
+both flat replays.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import batagelj_zaversnik
+from repro.core.one_to_one import (
+    OneToOneConfig,
+    build_node_processes,
+    run_one_to_one,
+)
+from repro.core.termination import run_fixed_rounds
+from repro.graph import generators as gen
+from repro.sim.engine import RoundEngine
+from repro.sim.node import Process
+
+
+class Chatterbox(Process):
+    """Never quiesces: every delivery triggers another self-send."""
+
+    def on_init(self, ctx):
+        ctx.send(self.pid, "tick")
+
+    def on_messages(self, ctx, messages):
+        ctx.send(self.pid, "tick")
+
+
+class TestRoundEngineTruncation:
+    @pytest.mark.parametrize("mode", ["lockstep", "peersim"])
+    @pytest.mark.parametrize("max_rounds", [1, 2, 5])
+    def test_nonstrict_reports_rounds_executed(self, mode, max_rounds):
+        stats = RoundEngine(
+            {0: Chatterbox(0)},
+            mode=mode,
+            max_rounds=max_rounds,
+            strict=False,
+        ).run()
+        assert stats.rounds_executed == max_rounds
+        assert stats.converged is False
+        assert len(stats.sends_per_round) == stats.rounds_executed
+
+    def test_converged_run_still_counts_all_rounds(self):
+        """The fix must not disturb the normal termination path."""
+        g = gen.path_graph(8)
+        processes = build_node_processes(g)
+        stats = RoundEngine(processes, mode="lockstep").run()
+        assert stats.converged is True
+        assert stats.rounds_executed == len(stats.sends_per_round)
+        assert stats.rounds_executed > 0
+
+
+class TestProtocolTruncationParity:
+    """strict=False / fixed_rounds parity across all three engines."""
+
+    ENGINES = ("round", "flat")
+
+    @pytest.mark.parametrize("mode", ["lockstep", "peersim"])
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("budget", [1, 3, 6])
+    def test_fixed_rounds_stats(self, mode, engine, budget):
+        g = gen.worst_case_graph(40)  # needs ~N rounds, so always truncates
+        result = run_one_to_one(
+            g,
+            OneToOneConfig(
+                mode=mode, engine=engine, seed=2, fixed_rounds=budget
+            ),
+        )
+        stats = result.stats
+        assert stats.rounds_executed == budget
+        assert stats.converged is False
+        assert len(stats.sends_per_round) == budget
+        # partial coreness over-approximates the truth at every prefix
+        truth = batagelj_zaversnik(g)
+        assert all(result.coreness[u] >= truth[u] for u in truth)
+
+    @pytest.mark.parametrize("mode", ["lockstep", "peersim"])
+    @pytest.mark.parametrize("budget", [1, 2, 4, 9])
+    def test_flat_matches_object_when_truncated(self, mode, budget):
+        g = gen.preferential_attachment_graph(80, 3, seed=5)
+        kw = dict(mode=mode, seed=7, fixed_rounds=budget)
+        obj = run_one_to_one(g, OneToOneConfig(engine="round", **kw))
+        flat = run_one_to_one(g, OneToOneConfig(engine="flat", **kw))
+        assert flat.coreness == obj.coreness
+        assert flat.stats.rounds_executed == obj.stats.rounds_executed
+        assert flat.stats.execution_time == obj.stats.execution_time
+        assert flat.stats.sends_per_round == obj.stats.sends_per_round
+        assert flat.stats.sent_per_process == obj.stats.sent_per_process
+        assert flat.stats.converged == obj.stats.converged
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_nonstrict_max_rounds_equals_fixed_rounds(self, engine):
+        """strict=False + max_rounds is the same truncation as
+        fixed_rounds at the same budget."""
+        g = gen.worst_case_graph(30)
+        a = run_one_to_one(
+            g,
+            OneToOneConfig(
+                mode="peersim", engine=engine, seed=1,
+                max_rounds=4, strict=False,
+            ),
+        )
+        b = run_one_to_one(
+            g,
+            OneToOneConfig(
+                mode="peersim", engine=engine, seed=1, fixed_rounds=4
+            ),
+        )
+        assert a.coreness == b.coreness
+        assert a.stats.rounds_executed == b.stats.rounds_executed == 4
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_run_fixed_rounds_preserves_engine(self, engine):
+        """run_fixed_rounds must not silently drop config.engine."""
+        g = gen.erdos_renyi_graph(60, 0.08, seed=4)
+        result = run_fixed_rounds(
+            g, rounds=3, config=OneToOneConfig(seed=1, engine=engine)
+        )
+        expected = "flat" if engine == "flat" else ""
+        assert ("flat" in result.algorithm) == bool(expected)
+        assert result.stats.rounds_executed <= 3
+        assert result.stats.rounds_executed > 0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_cli_guard_condition_truthy_when_truncated(self, engine):
+        """cli.py gates its rounds/messages line on
+        ``result.stats.rounds_executed`` — a truncated run must satisfy
+        that guard (it used to report 0 and lose the line)."""
+        g = gen.worst_case_graph(30)
+        result = run_fixed_rounds(
+            g, rounds=5, config=OneToOneConfig(seed=3, engine=engine)
+        )
+        assert result.stats.converged is False
+        assert bool(result.stats.rounds_executed)
+
+    def test_cli_flat_engine_end_to_end(self, capsys):
+        """`decompose --engine flat` goes through the peersim flat path
+        and prints the stats line."""
+        import os
+        import tempfile
+
+        from repro.cli import main
+        from repro.graph.io import write_edge_list
+
+        g = gen.erdos_renyi_graph(50, 0.1, seed=2)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "g.txt")
+            write_edge_list(g, path)
+            main(
+                [
+                    "decompose",
+                    "--edges", path,
+                    "--algorithm", "one-to-one",
+                    "--engine", "flat",
+                    "--seed", "3",
+                ]
+            )
+        out = capsys.readouterr().out
+        assert "peersim-flat" in out
+        assert "rounds=" in out and "messages=" in out
