@@ -6,6 +6,11 @@ estimates, so the overhead stays very low (paper: always below ~3) and
 roughly flat in the host count. Right panel: point-to-point — each
 neighbouring host gets its own copy, so the overhead grows with the
 host count, levelling off toward the one-to-one message rate.
+
+The sweep is parametrized over the execution engine: the sharded flat
+engine (``engine="flat"``) must reproduce the object engine's curves
+point for point (it is an exact replay per seed — see
+``bench_sharded.py`` for the throughput comparison).
 """
 
 from __future__ import annotations
@@ -27,8 +32,9 @@ HOSTS = [2, 4, 8, 16, 32, 64, 128, 256, 512]
 DATASETS = ["astro", "gnutella", "slashdot", "amazon", "web-berkstan"]
 
 
+@pytest.mark.parametrize("engine", ["round", "flat"])
 @pytest.mark.parametrize("communication", ["broadcast", "p2p"])
-def test_fig5_overhead(benchmark, communication, report, out_dir):
+def test_fig5_overhead(benchmark, communication, engine, report, out_dir):
     curves: dict[str, list[tuple[int, float]]] = {}
 
     def sweep():
@@ -41,6 +47,7 @@ def test_fig5_overhead(benchmark, communication, report, out_dir):
                 communication,
                 repetitions=max(1, BENCH_REPS - 1),
                 seed=31,
+                engine=engine,
             )
         return curves
 
@@ -53,7 +60,7 @@ def test_fig5_overhead(benchmark, communication, report, out_dir):
     ]
     title = (
         f"Figure 5 ({'left' if communication == 'broadcast' else 'right'}): "
-        f"overhead per node, {communication}"
+        f"overhead per node, {communication}, {engine} engine"
     )
     report(format_table(headers, rows, title=title))
     report(
@@ -63,7 +70,7 @@ def test_fig5_overhead(benchmark, communication, report, out_dir):
         )
     )
     write_csv(
-        os.path.join(out_dir, f"fig5_{communication}.csv"),
+        os.path.join(out_dir, f"fig5_{communication}_{engine}.csv"),
         ["dataset", "hosts", "overhead_per_node"],
         [
             [name, hosts, value]

@@ -1,0 +1,322 @@
+#!/usr/bin/env python
+"""Sharded flat engine vs object engine on the one-to-many protocol.
+
+Runs ``run_one_to_many`` through both execution paths — the general
+object engine (``engine="round"``, dict-of-dicts ``KCoreHost`` hosts)
+and the sharded CSR fast path (``engine="flat"``,
+:class:`~repro.graph.sharded.ShardedCSR` +
+:class:`~repro.sim.flat_many_engine.FlatOneToManyEngine`) — under both
+communication policies of Section 3.2.1:
+
+* ``broadcast`` — Algorithm 3's shared medium, one transmission per
+  host per round;
+* ``p2p`` — Algorithm 5's point-to-point links, per-destination
+  subsets.
+
+on three graph families (uniform-sparse, heavy-tailed, and community-
+structured — the regime where hosts actually keep most edges internal):
+
+* ``er`` — Erdős–Rényi, avg degree ≈ 8;
+* ``ba`` — Barabási–Albert, m = 5;
+* ``caveman`` — connected caveman communities of 20 (low cut under the
+  block policy, the cluster-placement best case).
+
+Each run is timed end-to-end (including assignment, host construction /
+CSR conversion + sharding, and the cut-edges statistic), reports
+nodes/sec, cross-checks that both engines return identical coreness
+*and statistics* — including the Figure-5 ``estimates_sent`` overhead
+accounting and ``cut_edges`` — plus the BZ oracle, and writes
+everything to ``BENCH_sharded.json``. The headline figures are the best
+speedups at the largest size per communication policy.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py            # full
+    PYTHONPATH=src python benchmarks/bench_sharded.py --smoke    # CI
+
+``--smoke`` shrinks everything to a seconds-long equivalence + sanity
+run covering both communication policies; the speedup thresholds are
+enforced via ``--require-broadcast-speedup`` / ``--require-p2p-speedup``
+on full runs — and a bound given for a policy that was *not*
+benchmarked fails loudly instead of passing vacuously.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.baselines import batagelj_zaversnik  # noqa: E402
+from repro.core.one_to_many import OneToManyConfig, run_one_to_many  # noqa: E402
+from repro.graph import generators as gen  # noqa: E402
+
+FAMILIES = {
+    "er": lambda n, seed: gen.erdos_renyi_graph(n, 8.0 / n, seed=seed),
+    "ba": lambda n, seed: gen.preferential_attachment_graph(n, 5, seed=seed),
+    "caveman": lambda n, seed: gen.caveman_graph(max(1, n // 20), 20),
+}
+
+COMMUNICATIONS = ("broadcast", "p2p")
+
+#: Placement per family: modulo (the paper's default) for the random
+#: families, block for caveman (contiguous ids == communities — the
+#: placement a cluster operator would pick).
+POLICY = {"er": "modulo", "ba": "modulo", "caveman": "block"}
+
+
+def time_run(graph, engine, communication, policy, hosts, seed, reps):
+    """Best-of-``reps`` wall time for one engine; returns (secs, result).
+
+    Each rep runs on a fresh ``graph.copy()`` (copied outside the timed
+    region) so neither engine inherits the other's sorted-neighbour
+    cache — both pay the full cold-start cost every rep.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        run_graph = graph.copy()
+        config = OneToManyConfig(
+            num_hosts=hosts,
+            policy=policy,
+            communication=communication,
+            engine=engine,
+            seed=seed,
+        )
+        start = time.perf_counter()
+        result = run_one_to_many(run_graph, config)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def bench_one(
+    family: str, n: int, hosts: int, seed: int, reps: int, communication: str
+) -> dict:
+    graph = FAMILIES[family](n, seed)
+    policy = POLICY[family]
+
+    obj_secs, obj_result = time_run(
+        graph, "round", communication, policy, hosts, seed, reps
+    )
+    flat_secs, flat_result = time_run(
+        graph, "flat", communication, policy, hosts, seed, reps
+    )
+
+    if flat_result.coreness != obj_result.coreness:
+        raise AssertionError(
+            f"flat/object coreness mismatch on {family} n={n} "
+            f"communication={communication}"
+        )
+    so, sf = obj_result.stats, flat_result.stats
+    stats_match = (
+        sf.rounds_executed == so.rounds_executed
+        and sf.execution_time == so.execution_time
+        and sf.sends_per_round == so.sends_per_round
+        and sf.sent_per_process == so.sent_per_process
+        and sf.converged == so.converged
+        and sf.extra["estimates_sent_total"] == so.extra["estimates_sent_total"]
+        and sf.extra["cut_edges"] == so.extra["cut_edges"]
+        and sf.extra["num_hosts"] == so.extra["num_hosts"]
+    )
+    if not stats_match:
+        raise AssertionError(
+            f"flat/object stats mismatch on {family} n={n} "
+            f"communication={communication}"
+        )
+    if flat_result.coreness != batagelj_zaversnik(graph):
+        raise AssertionError(
+            f"flat coreness != BZ oracle on {family} n={n} "
+            f"communication={communication}"
+        )
+
+    return {
+        "family": family,
+        "communication": communication,
+        "policy": policy,
+        "hosts": hosts,
+        "n": graph.num_nodes,
+        "edges": graph.num_edges,
+        "cut_edges": sf.extra["cut_edges"],
+        "rounds_executed": sf.rounds_executed,
+        "estimates_sent_total": sf.extra["estimates_sent_total"],
+        "estimates_sent_per_node": round(
+            sf.extra["estimates_sent_per_node"], 4
+        ),
+        "object_seconds": round(obj_secs, 6),
+        "flat_seconds": round(flat_secs, 6),
+        "object_nodes_per_sec": round(graph.num_nodes / obj_secs, 1),
+        "flat_nodes_per_sec": round(graph.num_nodes / flat_secs, 1),
+        "speedup": round(obj_secs / flat_secs, 2),
+        "verified": True,
+    }
+
+
+def _comm_summary(results: list[dict], top_n: int, communication: str) -> dict:
+    at_top = [
+        r
+        for r in results
+        if r["n"] >= top_n and r["communication"] == communication
+    ]
+    best = max((r["speedup"] for r in at_top), default=0.0)
+    geo = 1.0
+    for r in at_top:
+        geo *= r["speedup"]
+    geo = geo ** (1.0 / len(at_top)) if at_top else 0.0
+    return {
+        "best_speedup_at_largest_n": best,
+        "geomean_speedup_at_largest_n": round(geo, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes, equivalence-focused; for CI",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="override node counts (default: 5000 20000 50000)",
+    )
+    parser.add_argument(
+        "--communications",
+        nargs="+",
+        default=None,
+        choices=COMMUNICATIONS,
+        help="subset of communication policies (default: both)",
+    )
+    parser.add_argument("--hosts", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--reps", type=int, default=1)
+    parser.add_argument(
+        "--require-broadcast-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero unless the best broadcast speedup at the "
+        "largest size meets this bound (fails loudly if broadcast was "
+        "not benchmarked)",
+    )
+    parser.add_argument(
+        "--require-p2p-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero unless the best p2p speedup at the largest "
+        "size meets this bound (fails loudly if p2p was not benchmarked)",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "..",
+            "BENCH_sharded.json",
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes or ([1000] if args.smoke else [5000, 20000, 50000])
+    communications = (
+        tuple(args.communications) if args.communications else COMMUNICATIONS
+    )
+    results = []
+    for n in sizes:
+        for family in FAMILIES:
+            for communication in communications:
+                row = bench_one(
+                    family, n, args.hosts, args.seed, args.reps, communication
+                )
+                results.append(row)
+                print(
+                    f"{family:>8s}/{communication:<9s} n={row['n']:>6d} "
+                    f"m={row['edges']:>7d} cut={row['cut_edges']:>7d} | "
+                    f"object {row['object_seconds']:8.3f}s "
+                    f"({row['object_nodes_per_sec']:>9.0f} nodes/s) | "
+                    f"flat {row['flat_seconds']:8.3f}s "
+                    f"({row['flat_nodes_per_sec']:>9.0f} nodes/s) | "
+                    f"{row['speedup']:6.2f}x",
+                    flush=True,
+                )
+
+    top_n = max(sizes)
+    by_comm = {
+        c: _comm_summary(results, top_n, c) for c in communications
+    }
+    best_overall = max(
+        (s["best_speedup_at_largest_n"] for s in by_comm.values()),
+        default=0.0,
+    )
+    summary = {
+        "largest_n": top_n,
+        "hosts": args.hosts,
+        "best_speedup_at_largest_n": best_overall,
+        "by_communication": by_comm,
+        "target_speedup": 2.0,
+        "target_met": best_overall >= 2.0,
+    }
+    payload = {
+        "benchmark": (
+            "sharded flat engine vs object engine, one-to-many protocol"
+        ),
+        "smoke": args.smoke,
+        "seed": args.seed,
+        "reps": args.reps,
+        "hosts": args.hosts,
+        "communications": list(communications),
+        "results": results,
+        "summary": summary,
+    }
+    out_path = os.path.abspath(args.out)
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    for communication in communications:
+        s = by_comm[communication]
+        print(
+            f"\n{communication}: best speedup at n={top_n}: "
+            f"{s['best_speedup_at_largest_n']:.2f}x "
+            f"(geomean {s['geomean_speedup_at_largest_n']:.2f}x)"
+        )
+    print(f"-> {out_path}")
+
+    failed = False
+    checks = (
+        ("broadcast", args.require_broadcast_speedup),
+        ("p2p", args.require_p2p_speedup),
+    )
+    for communication, bound in checks:
+        if bound is None:
+            continue
+        if communication not in by_comm:
+            # a speedup gate on a policy that never ran is a
+            # misconfiguration, not a pass
+            print(
+                f"FAIL: speedup bound given for communication "
+                f"{communication!r} but that policy was not benchmarked "
+                f"(ran: {list(by_comm)})",
+                file=sys.stderr,
+            )
+            failed = True
+            continue
+        best = by_comm[communication]["best_speedup_at_largest_n"]
+        if best < bound:
+            print(
+                f"FAIL: best {communication} speedup {best:.2f}x < "
+                f"required {bound:.2f}x",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,10 +21,12 @@ from repro.core.api import ALGORITHMS, coreness, decompose
 from repro.core.one_to_one import OneToOneConfig, run_one_to_one
 from repro.core.one_to_one_flat import run_one_to_one_flat
 from repro.core.one_to_many import OneToManyConfig, run_one_to_many
+from repro.core.one_to_many_flat import run_one_to_many_flat
 from repro.core.result import DecompositionResult
 from repro.core.assignment import Assignment, assign
 from repro.graph.graph import Graph
 from repro.graph.csr import CSRGraph
+from repro.graph.sharded import HostShard, ShardedCSR
 from repro.graph import generators
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.graph.stats import GraphStats, compute_stats
@@ -39,8 +41,10 @@ __all__ = [
     "DecompositionResult",
     "Graph",
     "GraphStats",
+    "HostShard",
     "OneToManyConfig",
     "OneToOneConfig",
+    "ShardedCSR",
     "assign",
     "batagelj_zaversnik",
     "compute_stats",
@@ -50,6 +54,7 @@ __all__ = [
     "peeling_coreness",
     "read_edge_list",
     "run_one_to_many",
+    "run_one_to_many_flat",
     "run_one_to_one",
     "run_one_to_one_flat",
     "write_edge_list",

@@ -40,14 +40,25 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument("--hosts", type=int, default=4,
                      help="host count (one-to-many only)")
     dec.add_argument(
-        "--engine", default="round", choices=("round", "flat", "async"),
-        help="execution engine for one-to-one (flat = CSR fast path)",
+        "--engine", default=None, choices=("round", "flat", "async"),
+        help="execution engine for one-to-one and one-to-many "
+        "(default round; flat = CSR fast path, sharded for one-to-many)",
     )
     dec.add_argument(
         "--mode", default=None, choices=("peersim", "lockstep"),
         help="activation mode for the round/flat engines; applies to "
-        "one-to-one (default peersim) and one-to-one-flat (default "
-        "lockstep)",
+        "one-to-one/one-to-many (default peersim) and one-to-one-flat "
+        "(default lockstep)",
+    )
+    dec.add_argument(
+        "--communication", default=None, choices=("broadcast", "p2p"),
+        help="host-to-host medium (one-to-many only; default broadcast)",
+    )
+    dec.add_argument(
+        "--policy", default=None,
+        choices=("modulo", "block", "random", "bfs"),
+        help="node->host placement policy (one-to-many only; "
+        "default the paper's modulo)",
     )
     dec.add_argument("--seed", type=int, default=0)
     dec.add_argument("--scale", type=float, default=1.0,
@@ -100,18 +111,34 @@ def _load_graph(args: argparse.Namespace):
 
 def _cmd_decompose(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
+    # conflicting combinations (--engine async with --mode, --engine on
+    # a -flat algorithm, ...) are forwarded as given: the config layer
+    # rejects them with a precise ConfigurationError instead of the CLI
+    # silently dropping a flag the user typed
     options: dict[str, object] = {}
     if args.algorithm == "one-to-one":
         options["seed"] = args.seed
-        options["engine"] = args.engine
-        if args.engine != "async" and args.mode is not None:
+        options["engine"] = args.engine or "round"
+        if args.mode is not None:
             options["mode"] = args.mode
     elif args.algorithm == "one-to-one-flat":
         options["seed"] = args.seed
+        if args.engine is not None:
+            options["engine"] = args.engine
         if args.mode is not None:
             options["mode"] = args.mode
-    elif args.algorithm == "one-to-many":
+    elif args.algorithm in ("one-to-many", "one-to-many-flat"):
         options.update(seed=args.seed, num_hosts=args.hosts)
+        if args.algorithm == "one-to-many":
+            options["engine"] = args.engine or "round"
+        elif args.engine is not None:
+            options["engine"] = args.engine
+        if args.mode is not None:
+            options["mode"] = args.mode
+        if args.communication is not None:
+            options["communication"] = args.communication
+        if args.policy is not None:
+            options["policy"] = args.policy
     elif args.algorithm == "pregel":
         options["num_workers"] = args.hosts
     result = decompose(graph, args.algorithm, **options)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.baselines.batagelj_zaversnik import batagelj_zaversnik
 from repro.baselines.peeling import peeling_coreness
+from repro.core.assignment import Assignment
 from repro.core.one_to_many import OneToManyConfig, run_one_to_many
 from repro.core.one_to_one import OneToOneConfig, run_one_to_one
 from repro.core.result import DecompositionResult, wrap_coreness
@@ -22,6 +23,7 @@ ALGORITHMS = (
     "one-to-one",
     "one-to-one-flat",
     "one-to-many",
+    "one-to-many-flat",
     "bz",
     "peeling",
     "pregel",
@@ -47,7 +49,13 @@ def decompose(
       with the same seed.
     * ``"one-to-many"`` — the distributed host protocol (Algorithms
       3-5); options are :class:`~repro.core.one_to_many.OneToManyConfig`
-      fields.
+      fields, plus ``assignment`` — a precomputed
+      :class:`~repro.core.assignment.Assignment` to reuse a placement
+      across runs (it overrides ``num_hosts``/``policy``).
+    * ``"one-to-many-flat"`` — the same protocol on the sharded CSR
+      fast path (see ``BENCH_sharded.json``); identical results per
+      (policy, communication, seed), including the Figure-5
+      ``estimates_sent`` overhead.
     * ``"bz"`` — sequential Batagelj–Zaveršnik (reference [3]).
     * ``"peeling"`` — sequential peeling by definition.
     * ``"pregel"`` — the BSP/Pregel port (the paper's Conclusions).
@@ -67,8 +75,25 @@ def decompose(
                 "'one-to-one' to pick an engine explicitly"
             )
         return run_one_to_one(graph, OneToOneConfig(**options))  # type: ignore[arg-type]
-    if algorithm == "one-to-many":
-        return run_one_to_many(graph, OneToManyConfig(**options))  # type: ignore[arg-type]
+    if algorithm in ("one-to-many", "one-to-many-flat"):
+        assignment = options.pop("assignment", None)
+        if assignment is not None and not isinstance(assignment, Assignment):
+            raise ConfigurationError(
+                "assignment must be a repro.core.assignment.Assignment "
+                f"instance, got {type(assignment).__name__}"
+            )
+        if algorithm == "one-to-many-flat":
+            if options.setdefault("engine", "flat") != "flat":
+                raise ConfigurationError(
+                    "algorithm 'one-to-many-flat' implies engine='flat'; "
+                    f"got engine={options['engine']!r} — use algorithm "
+                    "'one-to-many' to pick an engine explicitly"
+                )
+        return run_one_to_many(
+            graph,
+            OneToManyConfig(**options),  # type: ignore[arg-type]
+            assignment=assignment,
+        )
     if algorithm == "bz":
         return wrap_coreness(batagelj_zaversnik(graph), "batagelj-zaversnik")
     if algorithm == "peeling":

@@ -61,6 +61,14 @@ class Assignment:
         mean = sum(sizes) / len(sizes) if sizes else 0.0
         return (max(sizes) / mean) if mean else 0.0
 
+    def empty_hosts(self) -> tuple[int, ...]:
+        """Hosts owning no nodes, ascending (see the contract in
+        :func:`assign`: possible whenever ``num_hosts > num_nodes``, and
+        *which* hosts are empty is policy-dependent)."""
+        return tuple(
+            x for x in range(self.num_hosts) if not self.owned[x]
+        )
+
     def cut_edges(self, graph: Graph) -> int:
         """Number of edges whose endpoints live on different hosts."""
         return sum(
@@ -127,6 +135,22 @@ def assign(
 
     ``policy`` is one of :data:`ASSIGNMENT_POLICIES`. The paper's
     default is ``"modulo"``.
+
+    **Empty-host contract** (the ``num_hosts > num_nodes`` edge case):
+    every policy returns a *total* map — each node placed on exactly one
+    host in ``0..num_hosts-1`` — and a host may own no nodes. Empty
+    hosts are first-class: every runner and the sharded partition layer
+    treat them as hosts with nothing to say (they send no estimates and
+    appear in the activation order like any other host). Which hosts end
+    up empty is policy-dependent — ``block``/``random``/``bfs`` fill
+    hosts ``0..num_nodes-1`` and leave the tail empty, while ``modulo``
+    keeps the paper's ``h(u) = u mod |H|`` formula, so with
+    non-contiguous node ids *any* host below ``num_hosts`` may be empty
+    or not. Callers that need every host populated should check
+    :meth:`Assignment.empty_hosts`. This is enforced by tests for all
+    four policies rather than raising: the paper's modulo formula is
+    well-defined for any host count, and clamping ``num_hosts`` would
+    silently change the reported ``num_hosts``/``cut_edges`` statistics.
     """
     if num_hosts < 1:
         raise ConfigurationError("num_hosts must be >= 1")

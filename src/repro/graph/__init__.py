@@ -2,6 +2,7 @@
 
 from repro.graph.graph import Graph
 from repro.graph.csr import CSRGraph
+from repro.graph.sharded import HostShard, ShardedCSR
 from repro.graph.generators import (
     caveman_graph,
     clique_graph,
@@ -27,6 +28,8 @@ __all__ = [
     "CSRGraph",
     "Graph",
     "GraphStats",
+    "HostShard",
+    "ShardedCSR",
     "compute_stats",
     "read_edge_list",
     "write_edge_list",

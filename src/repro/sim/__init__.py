@@ -21,12 +21,17 @@ provides:
   that replay the round engine's lockstep and peersim disciplines
   bit-identically (the peersim one consumes the identical RNG stream)
   over a :class:`~repro.graph.csr.CSRGraph`.
+* :class:`repro.sim.flat_many_engine.FlatOneToManyEngine` — the same
+  idea for the one-to-many host protocol: an exact replay of the round
+  engine (both disciplines) over a
+  :class:`~repro.graph.sharded.ShardedCSR` partition.
 """
 
 from repro.sim.node import Context, Process
 from repro.sim.engine import RoundEngine
 from repro.sim.async_engine import AsyncEngine
 from repro.sim.flat_engine import FlatOneToOneEngine, FlatPeerSimEngine
+from repro.sim.flat_many_engine import FlatOneToManyEngine
 from repro.sim.metrics import SimulationStats
 
 __all__ = [
@@ -35,6 +40,7 @@ __all__ = [
     "RoundEngine",
     "AsyncEngine",
     "FlatOneToOneEngine",
+    "FlatOneToManyEngine",
     "FlatPeerSimEngine",
     "SimulationStats",
 ]

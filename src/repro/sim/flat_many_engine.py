@@ -1,0 +1,476 @@
+"""Flat, array-based execution of the one-to-many protocol.
+
+The object path runs Algorithms 3-5 as :class:`~repro.core.one_to_many.
+KCoreHost` processes under the general :class:`~repro.sim.engine.
+RoundEngine`: every estimate lives in a per-host ``dict``, every
+adjacency visit chases a dict of tuples, every internal cascade step
+pays set/dict bookkeeping, and every host-to-host message allocates a
+``(sender, payload)`` tuple plus a list of pairs. This module is the
+specialised counterpart, in the mould of
+:mod:`repro.sim.flat_engine`: it hard-codes the host protocol over a
+:class:`~repro.graph.sharded.ShardedCSR` and keeps all protocol state
+in flat per-shard arrays —
+
+* ``est[u]`` — one array per shard covering ``V(x) ∪ neighborV(x)`` in
+  the shard's local index space (owned nodes first, then the external
+  boundary — the paper deliberately stores both in one array, and here
+  that array is literal);
+* the internal cascade (``improveEstimate``, Algorithm 4) is a worklist
+  over the shard-local CSR: array reads instead of dict lookups, a
+  ``bytearray`` dedupe instead of a ``set``, and the support-counter
+  shortcut of the flat one-to-one engines (``sup[u]`` tracks how many
+  neighbours sit at or above ``est[u]``, so ``computeIndex`` only runs
+  when a drop can actually lower the estimate);
+* host-to-host mailboxes reuse the mailbox-slot scheme of the flat
+  one-to-one engines, lifted from (node, node) edges to (host, host)
+  channels: a transmission appends ``(ext-slot, value)`` pairs into the
+  destination shard's slot/value lists — folding a mailbox is pure
+  array reads, and because estimates only decrease, sequential min-fold
+  over the pairs reproduces the object engine's fold of every pending
+  payload.
+
+**Semantics.** The engine is an exact replay of
+``RoundEngine`` driving ``build_host_processes`` output, for both
+delivery disciplines: ``mode="lockstep"`` (deterministic host order,
+messages delivered next round — double-buffered mailboxes) and
+``mode="peersim"`` (a fresh ``rng.shuffle`` of the host pid list every
+round from the *identical RNG stream*, messages visible to hosts
+activated later in the same round). Host pids are always
+``0..num_hosts-1`` in both paths, so — unlike the one-to-one replay —
+no activation-id translation is ever needed. The internal cascade may
+visit nodes in a different order than the object worklist, which is
+safe: ``improveEstimate`` converges to a unique fixpoint from any
+schedule (the operator is monotone non-increasing), so the post-cascade
+estimates *and* the changed-node set are schedule-independent — and
+those are the only cascade outputs the protocol observes. Coreness,
+round counts, per-round send counts, per-host message counts, and the
+Figure-5 ``estimates_sent`` overhead (under ``broadcast``, ``p2p``, and
+the ``p2p_filter`` extension) all match the object engine bit-for-bit
+per seed; ``tests/test_flat_one_to_many_equivalence.py`` asserts it.
+
+**When is it selected?** ``run_one_to_many(engine="flat")`` routes here
+via :mod:`repro.core.one_to_many_flat`. Observers are not supported —
+use the object engine for traced runs (fidelity over throughput).
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from array import array
+from collections import deque
+
+from repro.core.compute_index import compute_index
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.graph.sharded import ShardedCSR
+from repro.sim.metrics import SimulationStats
+from repro.utils.rng import make_rng
+
+__all__ = ["FlatOneToManyEngine"]
+
+
+class FlatOneToManyEngine:
+    """Algorithms 3-5 over :class:`ShardedCSR` arrays.
+
+    Parameters
+    ----------
+    sharded:
+        The partitioned graph.
+    communication:
+        ``"broadcast"`` (Algorithm 3) or ``"p2p"`` (Algorithm 5).
+    mode:
+        ``"peersim"`` (randomized activation, immediate delivery) or
+        ``"lockstep"`` (pid order, next-round delivery) — the same two
+        disciplines as :class:`~repro.sim.engine.RoundEngine`.
+    seed:
+        Seed (or shared :class:`random.Random`) for the peersim
+        activation shuffle; pass the object engine's seed to reproduce
+        a run exactly. Ignored under ``lockstep`` (which never draws).
+    p2p_filter:
+        The host-level send-filter extension (p2p only).
+    max_rounds / strict:
+        As in :class:`~repro.sim.flat_engine.FlatOneToOneEngine`.
+
+    After :meth:`run`, :attr:`estimates_sent` holds the Figure-5
+    overhead numerator per host and :meth:`coreness` the result.
+    """
+
+    __slots__ = (
+        "sharded",
+        "communication",
+        "mode",
+        "seed",
+        "p2p_filter",
+        "max_rounds",
+        "strict",
+        "stats",
+        "estimates_sent",
+        "_est",
+    )
+
+    def __init__(
+        self,
+        sharded: ShardedCSR,
+        communication: str = "broadcast",
+        mode: str = "peersim",
+        seed: int | random.Random | None = 0,
+        p2p_filter: bool = False,
+        max_rounds: int = 1_000_000,
+        strict: bool = True,
+    ) -> None:
+        if communication not in ("broadcast", "p2p"):
+            raise ConfigurationError(
+                f"unknown communication policy {communication!r}; "
+                "options: ['broadcast', 'p2p']"
+            )
+        if p2p_filter and communication != "p2p":
+            raise ConfigurationError("p2p_filter requires the p2p policy")
+        if mode not in ("peersim", "lockstep"):
+            raise ConfigurationError(
+                f"unknown engine mode {mode!r}; the flat engine replays "
+                "'lockstep' or 'peersim' semantics"
+            )
+        self.sharded = sharded
+        self.communication = communication
+        self.mode = mode
+        self.seed = seed
+        self.p2p_filter = p2p_filter
+        self.max_rounds = max_rounds
+        self.strict = strict
+        self.stats = SimulationStats()
+        #: Figure-5 overhead numerator per host (filled by :meth:`run`).
+        self.estimates_sent: array = array("q")
+        self._est: list[array] = []
+
+    # ------------------------------------------------------------------
+    def coreness(self) -> dict[int, int]:
+        """``{original node id: coreness}`` after :meth:`run`."""
+        ids = self.sharded.csr.ids
+        out: dict[int, int] = {}
+        for shard, est in zip(self.sharded.shards, self._est):
+            owned_global = shard.owned_global
+            for u in range(shard.n_owned):
+                out[ids[owned_global[u]]] = est[u]
+        return out
+
+    def estimates_sent_total(self) -> int:
+        """Sum of the per-host Figure-5 overhead numerators."""
+        return sum(self.estimates_sent)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationStats:
+        """Run to quiescence (or ``max_rounds``); returns the stats."""
+        # deferred: importing at module scope closes a cycle through
+        # repro.sim.__init__ -> here -> core.one_to_many -> core.result
+        from repro.core.one_to_many import INFINITY_INT
+
+        start = _time.perf_counter()
+        stats = self.stats
+        sharded = self.sharded
+        shards = sharded.shards
+        num_hosts = sharded.num_hosts
+        peersim = self.mode == "peersim"
+        broadcast = self.communication == "broadcast"
+        p2p_filter = self.p2p_filter
+        rng = make_rng(self.seed) if peersim else None
+        _compute_index = compute_index
+        scratch: list[int] = []
+
+        est_list = self._est = [
+            array("q", [0]) * (s.n_owned + s.n_ext) for s in shards
+        ]
+        # sup[u] — the support counter of the flat one-to-one engines,
+        # per shard: the number of u's neighbours (internal or external)
+        # whose estimate is >= est[u]. computeIndex lowers est[u] iff
+        # fewer than est[u] neighbours sit at >= est[u] (its suffix
+        # count test), so a neighbour's drop needs a recompute only when
+        # it pushes sup below est — every other cascade visit would
+        # return est[u] unchanged and is skipped. After a recompute, sup
+        # is re-read from the suffix-summed scratch buffer, restoring
+        # the invariant exactly.
+        sup_list = [array("q", [0]) * s.n_owned for s in shards]
+        changed_flag = [bytearray(s.n_owned) for s in shards]
+        changed_lists: list[list[int]] = [[] for _ in range(num_hosts)]
+        queued = [bytearray(s.n_owned) for s in shards]
+        estimates_sent = self.estimates_sent = array("q", [0]) * num_hosts
+        sent_msgs = array("q", [0]) * num_hosts
+        # p2p transmit scratch: per-destination counts + touched list
+        host_counts = array("q", [0]) * num_hosts
+
+        # Mailboxes: parallel (ext-slot, value) lists per destination
+        # host, plus an engine-message counter (the object engine's
+        # quiescence check and on_messages gating count *messages*, one
+        # per transmission, possibly carrying zero relevant pairs).
+        # peersim delivers into the live buffer; lockstep into the next
+        # buffer, swapped at round start (RoundEngine's double buffer).
+        mb_slots: list[list[int]] = [[] for _ in range(num_hosts)]
+        mb_vals: list[list[int]] = [[] for _ in range(num_hosts)]
+        mb_msgs = array("q", [0]) * num_hosts
+        if peersim:
+            in_slots, in_vals, in_msgs = mb_slots, mb_vals, mb_msgs
+        else:
+            in_slots = [[] for _ in range(num_hosts)]
+            in_vals = [[] for _ in range(num_hosts)]
+            in_msgs = array("q", [0]) * num_hosts
+        pending = 0
+        sends = 0
+
+        # -- internal cascade (Algorithm 4, worklist over the shard
+        # CSR). Every queued node has sup < est, so every pop genuinely
+        # recomputes; a drop at u propagates to internal neighbours by
+        # adjusting their sup for the crossing (old est >= their level,
+        # new est below it) and enqueueing only those pushed under their
+        # own estimate. Schedule-independent: the fixpoint and the set
+        # of dropped nodes are unique (the operator is monotone), which
+        # is all the protocol observes.
+        def cascade(x: int, queue: deque) -> None:
+            shard = shards[x]
+            est = est_list[x]
+            sup = sup_list[x]
+            offsets = shard.offsets
+            targets = shard.targets
+            n_owned = shard.n_owned
+            qd = queued[x]
+            flags = changed_flag[x]
+            clist = changed_lists[x]
+            while queue:
+                u = queue.popleft()
+                qd[u] = 0
+                cur = est[u]
+                nbrs = targets[offsets[u]:offsets[u + 1]]
+                k = _compute_index([est[t] for t in nbrs], cur, scratch)
+                # scratch[k] is the suffix count #{est >= k}: the
+                # refreshed support (compute_index's post-condition)
+                sup[u] = scratch[k]
+                if k < cur:
+                    est[u] = k
+                    if not flags[u]:
+                        flags[u] = 1
+                        clist.append(u)
+                    for t in nbrs:
+                        if t < n_owned:
+                            level = est[t]
+                            if cur >= level and k < level:
+                                s = sup[t] - 1
+                                sup[t] = s
+                                if s < level and not qd[t]:
+                                    qd[t] = 1
+                                    queue.append(t)
+
+        # -- transmit (Algorithm 3's S / Algorithm 5's per-host subsets)
+        def emit(x: int, updates: list[tuple[int, int]]) -> None:
+            nonlocal pending, sends
+            shard = shards[x]
+            neighbor_hosts = shard.neighbor_hosts
+            if not updates or not neighbor_hosts:
+                # nothing "has to be sent to another host" (Figure 5)
+                return
+            deliver = shard.deliver
+            if broadcast:
+                # one transmission; every estimate counted once, every
+                # neighbour host receives a message (even an irrelevant
+                # one — only border pairs are actually delivered, the
+                # rest the object engine's fold would ignore anyway)
+                estimates_sent[x] += len(updates)
+                for u, k in updates:
+                    for y, s in deliver[u]:
+                        in_slots[y].append(s)
+                        in_vals[y].append(k)
+                for y in neighbor_hosts:
+                    in_msgs[y] += 1
+                count = len(neighbor_hosts)
+                sent_msgs[x] += count
+                pending += count
+                sends += count
+            elif not p2p_filter:
+                # per-destination subsets; a message exists only where
+                # the subset is non-empty, and each (estimate,
+                # destination) pair costs one overhead unit
+                touched: list[int] = []
+                for u, k in updates:
+                    for y, s in deliver[u]:
+                        in_slots[y].append(s)
+                        in_vals[y].append(k)
+                        c = host_counts[y]
+                        if not c:
+                            touched.append(y)
+                        host_counts[y] = c + 1
+                for y in touched:
+                    estimates_sent[x] += host_counts[y]
+                    host_counts[y] = 0
+                    in_msgs[y] += 1
+                    sent_msgs[x] += 1
+                    pending += 1
+                    sends += 1
+            else:
+                # the §3.1.2-style host-level filter consults this
+                # shard's stored external estimates per (node, host)
+                est = est_list[x]
+                n_owned = shard.n_owned
+                dest_slots = shard.dest_slots
+                for y in neighbor_hosts:
+                    dest_get = dest_slots[y].get
+                    remote = shard.remote_slots[y]
+                    slots = in_slots[y]
+                    vals = in_vals[y]
+                    count = 0
+                    for u, k in updates:
+                        s = dest_get(u)
+                        if s is None:  # u has no neighbour on y
+                            continue
+                        if not any(
+                            est[n_owned + t] > k for t in remote[u]
+                        ):
+                            continue
+                        slots.append(s)
+                        vals.append(k)
+                        count += 1
+                    if count:
+                        estimates_sent[x] += count
+                        in_msgs[y] += 1
+                        sent_msgs[x] += 1
+                        pending += 1
+                        sends += 1
+
+        # -- Algorithm 3 initialisation: degrees in, cascade, full send
+        def on_init(x: int) -> None:
+            shard = shards[x]
+            est = est_list[x]
+            sup = sup_list[x]
+            offsets = shard.offsets
+            targets = shard.targets
+            n_owned = shard.n_owned
+            for u in range(n_owned):
+                est[u] = offsets[u + 1] - offsets[u]
+            for s in range(shard.n_ext):
+                est[n_owned + s] = INFINITY_INT
+            # seed supports: neighbours start at their degree (internal)
+            # or +inf (external); only nodes already under-supported at
+            # their own degree can drop in the initial cascade
+            qd = queued[x]
+            queue: deque[int] = deque()
+            for u in range(n_owned):
+                lo = offsets[u]
+                hi = offsets[u + 1]
+                k = hi - lo
+                s = 0
+                for t in targets[lo:hi]:
+                    if est[t] >= k:
+                        s += 1
+                sup[u] = s
+                if s < k:
+                    qd[u] = 1
+                    queue.append(u)
+            if queue:
+                cascade(x, queue)
+            # the initial message carries *all* owned estimates
+            emit(x, [(u, est[u]) for u in range(n_owned)])
+            flags = changed_flag[x]
+            for u in changed_lists[x]:
+                flags[u] = 0
+            changed_lists[x].clear()
+
+        # -- one activation: fold mailbox, cascade, transmit changes
+        def activate(x: int) -> None:
+            nonlocal pending
+            shard = shards[x]
+            est = est_list[x]
+            sup = sup_list[x]
+            n_owned = shard.n_owned
+            msgs = mb_msgs[x]
+            if msgs:
+                pending -= msgs
+                mb_msgs[x] = 0
+                slots = mb_slots[x]
+                vals = mb_vals[x]
+                watch_offsets = shard.watch_offsets
+                watch_targets = shard.watch_targets
+                qd = queued[x]
+                dirty: deque[int] = deque()
+                for s, value in zip(slots, vals):
+                    pos = n_owned + s
+                    old = est[pos]
+                    if value < old:
+                        est[pos] = value
+                        # a watcher needs a recompute only when the drop
+                        # crosses its level and starves its support
+                        for u in watch_targets[
+                            watch_offsets[s]:watch_offsets[s + 1]
+                        ]:
+                            level = est[u]
+                            if old >= level and value < level:
+                                c = sup[u] - 1
+                                sup[u] = c
+                                if c < level and not qd[u]:
+                                    qd[u] = 1
+                                    dirty.append(u)
+                slots.clear()
+                vals.clear()
+                if dirty:
+                    cascade(x, dirty)
+            clist = changed_lists[x]
+            if clist:
+                emit(x, [(u, est[u]) for u in clist])
+                flags = changed_flag[x]
+                for u in clist:
+                    flags[u] = 0
+                clist.clear()
+
+        # -- round 1: on_init in activation order. Under peersim the
+        # shuffle still runs (keeping the RNG stream aligned with the
+        # object engine) even though on_init never reads a mailbox.
+        base = list(range(num_hosts))
+        rnd = 1
+        if peersim:
+            order = base[:]
+            rng.shuffle(order)
+        else:
+            order = base
+        for x in order:
+            on_init(x)
+        stats.sends_per_round.append(sends)
+        if sends:
+            stats.execution_time += 1
+
+        while sends or pending:
+            if rnd >= self.max_rounds:
+                stats.converged = False
+                stats.rounds_executed = rnd
+                self._export_messages(sent_msgs)
+                stats.wall_seconds = _time.perf_counter() - start
+                if self.strict:
+                    raise ConvergenceError(rnd)
+                return stats
+            rnd += 1
+            sends = 0
+            if peersim:
+                order = base[:]
+                rng.shuffle(order)
+            else:
+                # flip buffers: last round's sends become this round's
+                # mail (the previous live buffers were fully drained)
+                mb_slots, in_slots = in_slots, mb_slots
+                mb_vals, in_vals = in_vals, mb_vals
+                mb_msgs, in_msgs = in_msgs, mb_msgs
+            for x in order:
+                activate(x)
+            stats.sends_per_round.append(sends)
+            if sends:
+                stats.execution_time += 1
+
+        stats.rounds_executed = rnd
+        self._export_messages(sent_msgs)
+        stats.wall_seconds = _time.perf_counter() - start
+        return stats
+
+    # ------------------------------------------------------------------
+    def _export_messages(self, sent_msgs: array) -> None:
+        """Fold per-host engine-message counters into the stats object."""
+        stats = self.stats
+        per_process = stats.sent_per_process
+        total = 0
+        for x, count in enumerate(sent_msgs):
+            if count:
+                per_process[x] = count
+                total += count
+        stats.total_messages = total

@@ -75,6 +75,62 @@ class TestPolicies:
             assign(g, 0)
 
 
+class TestEmptyHostContract:
+    """num_hosts > num_nodes: every policy yields a total map over
+    0..H-1 with the surplus hosts empty (see the contract in assign)."""
+
+    @pytest.mark.parametrize("policy", sorted(ASSIGNMENT_POLICIES))
+    def test_total_map_and_valid_hosts(self, policy):
+        g = gen.cycle_graph(5)
+        assignment = assign(g, 20, policy=policy, seed=3)
+        assert set(assignment.host_of) == set(g.nodes())
+        assert all(0 <= h < 20 for h in assignment.host_of.values())
+        total = sum(len(nodes) for nodes in assignment.owned.values())
+        assert total == g.num_nodes
+        # exactly num_nodes hosts are populated, the rest are empty
+        assert len(assignment.empty_hosts()) == 20 - g.num_nodes
+
+    @pytest.mark.parametrize("policy", ["block", "random", "bfs"])
+    def test_surplus_hosts_are_the_tail(self, policy):
+        """block/random/bfs enumerate nodes, so hosts 0..n-1 fill and
+        the tail n..H-1 stays empty."""
+        g = gen.cycle_graph(5)
+        assignment = assign(g, 20, policy=policy, seed=3)
+        assert assignment.empty_hosts() == tuple(range(5, 20))
+
+    def test_modulo_empty_hosts_follow_the_ids(self):
+        """modulo keeps the paper's formula: with sparse ids the empty
+        hosts are whichever residues no id hits (policy-dependence the
+        contract documents)."""
+        from repro.graph.graph import Graph
+
+        g = Graph.from_edges([(0, 10), (10, 3)])
+        assignment = assign(g, 8, policy="modulo")
+        assert assignment.host_of == {0: 0, 10: 2, 3: 3}
+        assert assignment.empty_hosts() == (1, 4, 5, 6, 7)
+
+    def test_empty_hosts_empty_when_balanced(self):
+        g = gen.path_graph(12)
+        assert assign(g, 4, policy="block").empty_hosts() == ()
+
+    @pytest.mark.parametrize("policy", sorted(ASSIGNMENT_POLICIES))
+    @pytest.mark.parametrize("engine", ["round", "flat"])
+    def test_runners_accept_empty_hosts(self, policy, engine):
+        """Both one-to-many engines run over assignments with empty
+        hosts and still report the full host count."""
+        from repro.baselines import batagelj_zaversnik
+        from repro.core.one_to_many import OneToManyConfig, run_one_to_many
+
+        g = gen.cycle_graph(5)
+        result = run_one_to_many(
+            g,
+            OneToManyConfig(num_hosts=20, policy=policy, engine=engine,
+                            seed=3),
+        )
+        assert result.coreness == batagelj_zaversnik(g)
+        assert result.stats.extra["num_hosts"] == 20
+
+
 class TestAssignmentObject:
     def test_invalid_host_in_map_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -78,6 +78,44 @@ class TestDecompose:
         ) == 0
         assert "one-to-many" in capsys.readouterr().out
 
+    def test_one_to_many_flat_with_policy_and_communication(
+        self, edge_file, capsys
+    ):
+        assert main(
+            [
+                "decompose", "--edges", edge_file,
+                "--algorithm", "one-to-many-flat", "--hosts", "3",
+                "--communication", "p2p", "--policy", "bfs",
+            ]
+        ) == 0
+        assert "one-to-many/p2p/bfs-flat" in capsys.readouterr().out
+
+    def test_one_to_many_engine_flag(self, edge_file, capsys):
+        assert main(
+            [
+                "decompose", "--edges", edge_file,
+                "--algorithm", "one-to-many", "--engine", "flat",
+            ]
+        ) == 0
+        assert "one-to-many/broadcast/modulo-flat" in capsys.readouterr().out
+
+    def test_conflicting_flags_are_forwarded_not_dropped(self, edge_file):
+        """The CLI hands conflicting combinations to the config layer
+        (which rejects them) instead of silently dropping a flag."""
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="lockstep"):
+            main(
+                ["decompose", "--edges", edge_file,
+                 "--algorithm", "one-to-many", "--engine", "async",
+                 "--mode", "lockstep"]
+            )
+        with pytest.raises(ConfigurationError, match="engine"):
+            main(
+                ["decompose", "--edges", edge_file,
+                 "--algorithm", "one-to-many-flat", "--engine", "async"]
+            )
+
     def test_pregel(self, edge_file, capsys):
         assert main(
             ["decompose", "--edges", edge_file, "--algorithm", "pregel"]

@@ -1,0 +1,222 @@
+"""Tests for the sharded CSR partition layer (graph/sharded.py).
+
+The contract: given a ``CSRGraph`` and an ``Assignment``, every host
+gets a sub-CSR in a local index space (owned nodes first, then the
+external boundary), boundary tables that mirror the object engine's
+``KCoreHost`` structures exactly (``border`` / ``external_watchers`` /
+``remote_neighbors``), and precomputed host-to-host edge cuts that
+agree with ``Assignment.cut_edges``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import Assignment, assign
+from repro.core.one_to_many import build_host_processes
+from repro.errors import ConfigurationError
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from repro.graph.graph import Graph
+from repro.graph.sharded import ShardedCSR
+
+from tests.conftest import graphs
+
+
+def _shard_owned_ids(sharded: ShardedCSR, host: int) -> list[int]:
+    """Original ids of the nodes owned by ``host``."""
+    ids = sharded.csr.ids
+    return [ids[g] for g in sharded.shards[host].owned_global]
+
+
+class TestStructure:
+    def test_path_over_two_hosts(self):
+        # path 0-1-2-3 via modulo: host0={0,2}, host1={1,3}
+        g = gen.path_graph(4)
+        sharded = ShardedCSR.from_graph(g, assign(g, 2, policy="modulo"))
+        s0, s1 = sharded.shards
+        assert _shard_owned_ids(sharded, 0) == [0, 2]
+        assert _shard_owned_ids(sharded, 1) == [1, 3]
+        assert s0.neighbor_hosts == (1,)
+        assert s1.neighbor_hosts == (0,)
+        # all of host0's nodes border host1 (edges 0-1, 2-1, 2-3)
+        assert s0.border(1) == frozenset({0, 1})  # local indices of 0, 2
+        # every edge is cut
+        assert sharded.cut_edges == 3
+        assert sharded.cut_matrix() == {(0, 1): 3}
+
+    def test_local_index_space_roundtrip(self):
+        """targets < n_owned are owned-local; the rest map through
+        ext_global back to the full graph's adjacency."""
+        g = gen.powerlaw_cluster_graph(80, 3, 0.3, seed=13)
+        csr = CSRGraph.from_graph(g)
+        sharded = ShardedCSR(csr, assign(g, 5, policy="bfs", seed=2))
+        ids = csr.ids
+        for shard in sharded.shards:
+            for u in range(shard.n_owned):
+                original = ids[shard.owned_global[u]]
+                nbrs = set()
+                for e in range(shard.offsets[u], shard.offsets[u + 1]):
+                    t = shard.targets[e]
+                    if t < shard.n_owned:
+                        nbrs.add(ids[shard.owned_global[t]])
+                    else:
+                        nbrs.add(ids[shard.ext_global[t - shard.n_owned]])
+                assert nbrs == g.neighbors(original)
+
+    def test_degrees_preserved(self):
+        g = gen.erdos_renyi_graph(60, 0.1, seed=3)
+        sharded = ShardedCSR.from_graph(g, assign(g, 4))
+        ids = sharded.csr.ids
+        for shard in sharded.shards:
+            for u in range(shard.n_owned):
+                assert shard.degree(u) == g.degree(ids[shard.owned_global[u]])
+
+    def test_single_host_has_no_boundary(self):
+        g = gen.clique_graph(6)
+        sharded = ShardedCSR.from_graph(g, assign(g, 1))
+        (shard,) = sharded.shards
+        assert shard.n_ext == 0
+        assert shard.neighbor_hosts == ()
+        assert shard.dest_slots == {}
+        assert sharded.cut_edges == 0
+
+    def test_empty_hosts_get_empty_shards(self):
+        g = gen.cycle_graph(5)
+        sharded = ShardedCSR.from_graph(g, assign(g, 20, policy="block"))
+        assert len(sharded.shards) == 20
+        for shard in sharded.shards[5:]:
+            assert shard.n_owned == 0
+            assert shard.n_ext == 0
+            assert shard.neighbor_hosts == ()
+
+    def test_empty_graph(self):
+        g = Graph()
+        sharded = ShardedCSR.from_graph(g, Assignment(host_of={}, num_hosts=3))
+        assert len(sharded.shards) == 3
+        assert sharded.cut_edges == 0
+
+
+class TestBoundaryTables:
+    """The shard tables mirror KCoreHost's dict structures exactly."""
+
+    @pytest.fixture()
+    def pair(self):
+        g = gen.powerlaw_cluster_graph(90, 3, 0.25, seed=8).shuffled(seed=4)
+        assignment = assign(g, 6, policy="random", seed=9)
+        hosts = build_host_processes(g, assignment)
+        sharded = ShardedCSR.from_graph(g, assignment)
+        return g, hosts, sharded
+
+    def test_neighbor_hosts_match(self, pair):
+        _, hosts, sharded = pair
+        for x, host in hosts.items():
+            assert sharded.shards[x].neighbor_hosts == host.neighbor_hosts
+
+    def test_border_matches(self, pair):
+        _, hosts, sharded = pair
+        ids = sharded.csr.ids
+        for x, host in hosts.items():
+            shard = sharded.shards[x]
+            for y in host.neighbor_hosts:
+                local_border = {
+                    ids[shard.owned_global[u]] for u in shard.border(y)
+                }
+                assert local_border == set(host.border[y])
+
+    def test_watchers_match(self, pair):
+        _, hosts, sharded = pair
+        ids = sharded.csr.ids
+        for x, host in hosts.items():
+            shard = sharded.shards[x]
+            flat_watchers = {}
+            for s in range(shard.n_ext):
+                us = shard.watch_targets[
+                    shard.watch_offsets[s]:shard.watch_offsets[s + 1]
+                ]
+                flat_watchers[ids[shard.ext_global[s]]] = sorted(
+                    ids[shard.owned_global[u]] for u in us
+                )
+            object_watchers = {
+                v: sorted(us) for v, us in host.external_watchers.items()
+            }
+            assert flat_watchers == object_watchers
+
+    def test_remote_neighbors_match(self, pair):
+        _, hosts, sharded = pair
+        ids = sharded.csr.ids
+        for x, host in hosts.items():
+            shard = sharded.shards[x]
+            for y, per_u in shard.remote_slots.items():
+                for u, slots in per_u.items():
+                    original_u = ids[shard.owned_global[u]]
+                    flat = sorted(
+                        ids[shard.ext_global[s]] for s in slots
+                    )
+                    assert flat == sorted(host.remote_neighbors[original_u][y])
+
+    def test_dest_slots_point_into_destination_ext_space(self, pair):
+        _, _, sharded = pair
+        ids = sharded.csr.ids
+        for shard in sharded.shards:
+            for y, dest in shard.dest_slots.items():
+                target = sharded.shards[y]
+                for u, slot in dest.items():
+                    assert (
+                        target.ext_global[slot] == shard.owned_global[u]
+                    ), (ids[shard.owned_global[u]], y)
+
+    def test_ext_index_inverts_ext_global(self, pair):
+        _, _, sharded = pair
+        for shard in sharded.shards:
+            assert len(shard.ext_index) == shard.n_ext
+            for s, g in enumerate(shard.ext_global):
+                assert shard.ext_index[g] == s
+
+
+class TestCuts:
+    @given(graphs(), st.integers(1, 9), st.sampled_from(
+        ["modulo", "block", "random", "bfs"]))
+    @settings(max_examples=40, deadline=None)
+    def test_cut_edges_matches_assignment(self, g, hosts, policy):
+        assignment = assign(g, hosts, policy=policy, seed=5)
+        sharded = ShardedCSR.from_graph(g, assignment)
+        assert sharded.cut_edges == assignment.cut_edges(g)
+
+    def test_cut_matrix_sums_to_cut_edges(self):
+        g = gen.powerlaw_cluster_graph(120, 3, 0.3, seed=42)
+        sharded = ShardedCSR.from_graph(g, assign(g, 7, policy="modulo"))
+        assert sum(sharded.cut_matrix().values()) == sharded.cut_edges
+
+    def test_load_imbalance_matches_assignment(self):
+        g = gen.path_graph(10)
+        assignment = assign(g, 4, policy="block")
+        sharded = ShardedCSR.from_graph(g, assignment)
+        assert sharded.load_imbalance() == pytest.approx(
+            assignment.load_imbalance()
+        )
+
+
+class TestValidation:
+    def test_assignment_missing_node_rejected(self):
+        g = gen.path_graph(4)
+        partial = Assignment(host_of={0: 0, 1: 1}, num_hosts=2)
+        with pytest.raises(ConfigurationError):
+            ShardedCSR.from_graph(g, partial)
+
+    def test_assignment_extra_node_rejected(self):
+        g = gen.path_graph(3)
+        extra = Assignment(
+            host_of={0: 0, 1: 1, 2: 0, 99: 1}, num_hosts=2
+        )
+        with pytest.raises(ConfigurationError):
+            ShardedCSR.from_graph(g, extra)
+
+    def test_assignment_wrong_node_rejected(self):
+        """Right cardinality, wrong node set — caught per node."""
+        g = gen.path_graph(3)
+        swapped = Assignment(host_of={0: 0, 1: 1, 99: 0}, num_hosts=2)
+        with pytest.raises(ConfigurationError, match="node 2"):
+            ShardedCSR.from_graph(g, swapped)
