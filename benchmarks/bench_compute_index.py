@@ -1,14 +1,17 @@
 """Experiment O5 — micro-benchmark of the computeIndex kernel.
 
 computeIndex runs once per activation per node; its cost is O(d + k).
-These micro-benchmarks pin the kernel's scaling across degrees, and the
+These micro-benchmarks pin the kernel's scaling across degrees, the
 worklist-vs-naive cascade cost on a single host owning a whole graph
-(the |H| = 1 degenerate case of the one-to-many protocol).
+(the |H| = 1 degenerate case of the one-to-many protocol), and — since
+the shared kernel layer landed — the batched Algorithm 2 across the
+stdlib/numpy backends (a lockstep round's whole frontier in one call).
 """
 
 from __future__ import annotations
 
 import random
+from array import array
 
 import pytest
 
@@ -17,7 +20,9 @@ from repro.core.compute_index import (
     improve_estimate_naive,
     improve_estimate_worklist,
 )
+from repro.graph.csr import CSRGraph
 from repro.graph.generators import powerlaw_cluster_graph
+from repro.sim.kernels import numpy_available, resolve_backend
 
 
 @pytest.mark.benchmark(group="compute-index")
@@ -27,6 +32,42 @@ def test_compute_index_scaling(benchmark, degree):
     estimates = [rng.randrange(1, degree) for _ in range(degree)]
     result = benchmark(compute_index, estimates, degree)
     assert 1 <= result <= degree
+
+
+@pytest.mark.benchmark(group="batch-compute-index")
+@pytest.mark.parametrize("backend_name", ["stdlib", "numpy"])
+def test_batch_compute_index_backends(benchmark, backend_name):
+    """One whole-graph batch (every node at once), per backend.
+
+    This is the shape of a lockstep round's frontier recompute and of
+    one h-index sweep: per-node caps, per-edge neighbour values.
+    """
+    if backend_name == "numpy" and not numpy_available():
+        pytest.skip("numpy backend needs numpy")
+    backend = resolve_backend(backend_name)
+    graph = powerlaw_cluster_graph(2000, m=4, p=0.3, seed=5)
+    csr = CSRGraph.from_graph(graph)
+    offsets = backend.graph_array(csr.offsets)
+    nodes = backend.graph_array(array("q", range(csr.num_nodes)))
+    caps = backend.degrees(offsets, csr.num_nodes)
+    edge_values = backend.graph_array(
+        array("q", [csr.degree(t) for t in csr.targets])
+    )
+    scratch: list[int] = []
+
+    values, _ = benchmark(
+        backend.batch_compute_index, nodes, caps, offsets, edge_values,
+        scratch,
+    )
+    expected = [
+        compute_index(
+            [csr.degree(t) for t in csr.neighbors(u)], csr.degree(u)
+        )
+        if csr.degree(u)
+        else 0
+        for u in range(csr.num_nodes)
+    ]
+    assert list(values) == expected
 
 
 @pytest.mark.benchmark(group="improve-estimate")

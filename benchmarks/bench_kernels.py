@@ -1,0 +1,365 @@
+#!/usr/bin/env python
+"""Numpy vs stdlib kernel-backend throughput on every flat path.
+
+Runs the kernel-layer consumers — the flat one-to-one lockstep engine,
+the sharded flat one-to-many engine (both communication policies), and
+the flat h-index baseline — once per backend over the same prebuilt
+CSR / sharded structures, so the measured difference is *exactly* the
+kernel backend (graph building, placement and shard construction are
+backend-independent and stay outside the timed region). Every pair of
+runs is cross-checked bit-for-bit (coreness, rounds, per-round send
+counts, per-process message counts, Figure-5 ``estimates_sent``, and
+the BZ oracle), and everything is written to ``BENCH_kernels.json``.
+
+In a stdlib-only environment the script still runs (and records) the
+stdlib rows; numpy rows are skipped with a note, and any
+``--require-*-speedup`` gate then fails loudly instead of passing
+vacuously.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py            # full
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke    # CI
+
+``--smoke`` shrinks everything to a seconds-long equivalence + sanity
+run; speedup thresholds are only meaningful on full runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.baselines import batagelj_zaversnik  # noqa: E402
+from repro.baselines.hindex import hindex_iteration  # noqa: E402
+from repro.core.assignment import assign  # noqa: E402
+from repro.graph import generators as gen  # noqa: E402
+from repro.graph.csr import CSRGraph  # noqa: E402
+from repro.graph.sharded import ShardedCSR  # noqa: E402
+from repro.sim.flat_engine import FlatOneToOneEngine  # noqa: E402
+from repro.sim.flat_many_engine import FlatOneToManyEngine  # noqa: E402
+from repro.sim.kernels import available_backends  # noqa: E402
+
+FAMILIES = {
+    "er": lambda n, seed: gen.erdos_renyi_graph(n, 8.0 / n, seed=seed),
+    "ba": lambda n, seed: gen.preferential_attachment_graph(n, 5, seed=seed),
+}
+
+NUM_HOSTS = 8
+
+
+def _stats_fingerprint(stats):
+    return (
+        stats.rounds_executed,
+        stats.execution_time,
+        list(stats.sends_per_round),
+        dict(stats.sent_per_process),
+        stats.total_messages,
+        stats.converged,
+    )
+
+
+def _best_of(reps, fn):
+    best_secs = float("inf")
+    outcome = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best_secs:
+            best_secs = elapsed
+            outcome = result
+    return best_secs, outcome
+
+
+def bench_one_to_one(family, n, seed, reps, backends, oracle, csr):
+    rows = []
+    reference = None
+    for backend in backends:
+        def run(backend=backend):
+            engine = FlatOneToOneEngine(csr, backend=backend)
+            stats = engine.run()
+            return engine.coreness(), _stats_fingerprint(stats)
+
+        secs, (coreness, fingerprint) = _best_of(reps, run)
+        if coreness != oracle:
+            raise AssertionError(
+                f"one-to-one[{backend}] coreness != BZ oracle on "
+                f"{family} n={n}"
+            )
+        if reference is None:
+            reference = fingerprint
+        elif fingerprint != reference:
+            raise AssertionError(
+                f"one-to-one[{backend}] stats diverge from "
+                f"{backends[0]} on {family} n={n}"
+            )
+        rows.append(
+            {
+                "engine": "one-to-one-flat/lockstep",
+                "family": family,
+                "n": n,
+                "backend": backend,
+                "seconds": round(secs, 6),
+                "nodes_per_sec": round(n / secs, 1),
+                "verified": True,
+            }
+        )
+    return rows
+
+
+def bench_one_to_many(family, n, seed, reps, backends, oracle, csr, graph):
+    assignment = assign(graph, NUM_HOSTS, policy="modulo", seed=seed)
+    sharded = ShardedCSR(csr, assignment)
+    rows = []
+    for communication in ("broadcast", "p2p"):
+        reference = None
+        for backend in backends:
+            def run(backend=backend, communication=communication):
+                engine = FlatOneToManyEngine(
+                    sharded,
+                    communication=communication,
+                    mode="peersim",
+                    seed=seed,
+                    backend=backend,
+                )
+                stats = engine.run()
+                return (
+                    engine.coreness(),
+                    _stats_fingerprint(stats),
+                    list(engine.estimates_sent),
+                )
+
+            secs, (coreness, fingerprint, estimates_sent) = _best_of(reps, run)
+            if coreness != oracle:
+                raise AssertionError(
+                    f"one-to-many[{backend}/{communication}] coreness != "
+                    f"BZ oracle on {family} n={n}"
+                )
+            observed = (fingerprint, estimates_sent)
+            if reference is None:
+                reference = observed
+            elif observed != reference:
+                raise AssertionError(
+                    f"one-to-many[{backend}/{communication}] stats diverge "
+                    f"from {backends[0]} on {family} n={n}"
+                )
+            rows.append(
+                {
+                    "engine": f"one-to-many-flat/peersim/{communication}",
+                    "family": family,
+                    "n": n,
+                    "hosts": NUM_HOSTS,
+                    "backend": backend,
+                    "seconds": round(secs, 6),
+                    "nodes_per_sec": round(n / secs, 1),
+                    "verified": True,
+                }
+            )
+    return rows
+
+
+def bench_hindex(family, n, seed, reps, backends, oracle, csr):
+    rows = []
+    reference = None
+    for backend in backends:
+        secs, outcome = _best_of(
+            reps, lambda backend=backend: hindex_iteration(csr, backend=backend)
+        )
+        values, sweeps = outcome
+        if values != oracle:
+            raise AssertionError(
+                f"hindex[{backend}] values != BZ oracle on {family} n={n}"
+            )
+        if reference is None:
+            reference = sweeps
+        elif sweeps != reference:
+            raise AssertionError(
+                f"hindex[{backend}] sweep count diverges on {family} n={n}"
+            )
+        rows.append(
+            {
+                "engine": "hindex-flat",
+                "family": family,
+                "n": n,
+                "backend": backend,
+                "seconds": round(secs, 6),
+                "nodes_per_sec": round(n / secs, 1),
+                "sweeps": sweeps,
+                "verified": True,
+            }
+        )
+    return rows
+
+
+def _speedups(results, top_n):
+    """Best numpy-over-stdlib speedup per engine kind at the top size."""
+    out = {}
+    by_key = {}
+    for row in results:
+        if row["n"] < top_n:
+            continue
+        key = (row["engine"], row["family"])
+        by_key.setdefault(key, {})[row["backend"]] = row["seconds"]
+    for (engine, family), per_backend in sorted(by_key.items()):
+        if "stdlib" not in per_backend or "numpy" not in per_backend:
+            continue
+        kind = engine.split("/")[0]
+        speedup = round(per_backend["stdlib"] / per_backend["numpy"], 2)
+        entry = out.setdefault(
+            kind, {"best_speedup_at_largest_n": 0.0, "rows": {}}
+        )
+        entry["rows"][f"{family}/{engine}"] = speedup
+        entry["best_speedup_at_largest_n"] = max(
+            entry["best_speedup_at_largest_n"], speedup
+        )
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes, equivalence-focused; for CI",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="override node counts (default: 5000 20000 50000)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--reps", type=int, default=1)
+    parser.add_argument(
+        "--require-one-to-one-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero unless the best one-to-one numpy speedup at "
+        "the largest size meets this bound",
+    )
+    parser.add_argument(
+        "--require-one-to-many-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero unless the best one-to-many numpy speedup at "
+        "the largest size meets this bound",
+    )
+    parser.add_argument(
+        "--require-hindex-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero unless the best h-index numpy speedup at "
+        "the largest size meets this bound",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "..",
+            "BENCH_kernels.json",
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    backends = list(available_backends())
+    if "numpy" not in backends:
+        print(
+            "note: numpy is not installed — recording stdlib rows only",
+            file=sys.stderr,
+        )
+    sizes = args.sizes or ([1000] if args.smoke else [5000, 20000, 50000])
+    results = []
+    for n in sizes:
+        for family, build in FAMILIES.items():
+            graph = build(n, args.seed)
+            csr = CSRGraph.from_graph(graph)
+            oracle = batagelj_zaversnik(graph)
+            for rows in (
+                bench_one_to_one(
+                    family, n, args.seed, args.reps, backends, oracle, csr
+                ),
+                bench_one_to_many(
+                    family, n, args.seed, args.reps, backends, oracle, csr,
+                    graph,
+                ),
+                bench_hindex(
+                    family, n, args.seed, args.reps, backends, oracle, csr
+                ),
+            ):
+                results.extend(rows)
+                for row in rows:
+                    print(
+                        f"{row['engine']:>34s} {row['family']:>3s} "
+                        f"n={row['n']:>6d} [{row['backend']:<6s}] "
+                        f"{row['seconds']:8.3f}s "
+                        f"({row['nodes_per_sec']:>10.0f} nodes/s)",
+                        flush=True,
+                    )
+
+    top_n = max(sizes)
+    speedups = _speedups(results, top_n)
+    payload = {
+        "benchmark": "kernel backends (numpy vs stdlib) on the flat paths",
+        "smoke": args.smoke,
+        "seed": args.seed,
+        "reps": args.reps,
+        "backends": backends,
+        "num_hosts_one_to_many": NUM_HOSTS,
+        "largest_n": top_n,
+        "results": results,
+        "numpy_speedups_at_largest_n": speedups,
+    }
+    out_path = os.path.abspath(args.out)
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    for kind, entry in speedups.items():
+        print(
+            f"\n{kind}: best numpy speedup at n={top_n}: "
+            f"{entry['best_speedup_at_largest_n']:.2f}x "
+            f"({entry['rows']})"
+        )
+    print(f"-> {out_path}")
+
+    failed = False
+    gates = (
+        ("one-to-one-flat", args.require_one_to_one_speedup),
+        ("one-to-many-flat", args.require_one_to_many_speedup),
+        ("hindex-flat", args.require_hindex_speedup),
+    )
+    for kind, bound in gates:
+        if bound is None:
+            continue
+        if kind not in speedups:
+            # a gate on a pairing that never ran (e.g. numpy missing)
+            # is a misconfiguration, not a pass
+            print(
+                f"FAIL: speedup bound given for {kind!r} but no "
+                f"stdlib/numpy pair was benchmarked "
+                f"(backends ran: {backends})",
+                file=sys.stderr,
+            )
+            failed = True
+            continue
+        best = speedups[kind]["best_speedup_at_largest_n"]
+        if best < bound:
+            print(
+                f"FAIL: best {kind} numpy speedup {best:.2f}x < "
+                f"required {bound:.2f}x",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

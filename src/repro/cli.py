@@ -16,6 +16,7 @@ import sys
 from typing import Sequence
 
 from repro.core.api import ALGORITHMS, decompose
+from repro.errors import ConfigurationError
 from repro.graph.io import read_edge_list
 from repro.graph.stats import compute_stats
 from repro.utils.tables import format_table
@@ -41,8 +42,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="host count (one-to-many only)")
     dec.add_argument(
         "--engine", default=None, choices=("round", "flat", "async"),
-        help="execution engine for one-to-one and one-to-many "
+        help="execution engine for one-to-one, one-to-many and pregel "
         "(default round; flat = CSR fast path, sharded for one-to-many)",
+    )
+    dec.add_argument(
+        "--backend", default=None, choices=("stdlib", "numpy"),
+        help="flat-kernel backend for the flat engines and baselines "
+        "(default stdlib; numpy = vectorised kernels, bit-identical "
+        "results, rejected by the config layer when numpy is not "
+        "installed or the target engine runs no kernels)",
     )
     dec.add_argument(
         "--mode", default=None, choices=("peersim", "lockstep"),
@@ -116,6 +124,18 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     # rejects them with a precise ConfigurationError instead of the CLI
     # silently dropping a flag the user typed
     options: dict[str, object] = {}
+    if args.engine is not None and args.algorithm in ("bz", "peeling", "hindex"):
+        raise ConfigurationError(
+            f"--engine has no meaning for algorithm {args.algorithm!r}: "
+            "the sequential baselines have a single implementation"
+        )
+    if args.mode is not None and args.algorithm in (
+        "bz", "peeling", "hindex", "pregel",
+    ):
+        raise ConfigurationError(
+            f"--mode has no meaning for algorithm {args.algorithm!r}: "
+            "activation modes belong to the one-to-one/one-to-many engines"
+        )
     if args.algorithm == "one-to-one":
         options["seed"] = args.seed
         options["engine"] = args.engine or "round"
@@ -141,6 +161,31 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
             options["policy"] = args.policy
     elif args.algorithm == "pregel":
         options["num_workers"] = args.hosts
+        if args.engine is not None:
+            # the pregel paths are "object" (the BSP master) and
+            # "flat"; map the shared --engine vocabulary onto them and
+            # let the config layer reject what has no meaning there
+            options["engine"] = (
+                "object" if args.engine == "round" else args.engine
+            )
+    if args.backend is not None:
+        if args.algorithm in (
+            "one-to-one",
+            "one-to-one-flat",
+            "one-to-many",
+            "one-to-many-flat",
+            "hindex",
+            "pregel",
+        ):
+            options["backend"] = args.backend
+        else:
+            # bz/peeling take no options at all; dropping the flag
+            # silently would misreport what executed
+            raise ConfigurationError(
+                f"--backend has no meaning for algorithm "
+                f"{args.algorithm!r}: it selects flat-kernel backends "
+                "and the sequential baselines run no kernels"
+            )
     result = decompose(graph, args.algorithm, **options)
     print(
         f"graph: {graph.name or 'stdin'}  nodes={graph.num_nodes} "

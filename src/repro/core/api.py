@@ -26,6 +26,7 @@ ALGORITHMS = (
     "one-to-many-flat",
     "bz",
     "peeling",
+    "hindex",
     "pregel",
 )
 
@@ -58,7 +59,15 @@ def decompose(
       ``estimates_sent`` overhead.
     * ``"bz"`` — sequential Batagelj–Zaveršnik (reference [3]).
     * ``"peeling"`` — sequential peeling by definition.
-    * ``"pregel"`` — the BSP/Pregel port (the paper's Conclusions).
+    * ``"hindex"`` — the synchronous h-index iteration baseline (Lü et
+      al.) as flat CSR sweeps; options: ``max_sweeps``, ``backend``.
+    * ``"pregel"`` — the BSP/Pregel port (the paper's Conclusions);
+      pass ``engine="flat"`` for the kernel-layer fast path.
+
+    The distributed protocols and the flat baselines take a
+    ``backend`` option (``"stdlib"`` default / ``"numpy"`` optional)
+    selecting the :mod:`repro.sim.kernels` backend on their flat
+    engines; results are bit-identical across backends.
 
     >>> from repro.graph.generators import figure2_example
     >>> decompose(figure2_example(), "bz").coreness[0]
@@ -98,6 +107,17 @@ def decompose(
         return wrap_coreness(batagelj_zaversnik(graph), "batagelj-zaversnik")
     if algorithm == "peeling":
         return wrap_coreness(peeling_coreness(graph), "peeling")
+    if algorithm == "hindex":
+        from repro.baselines.hindex import hindex_iteration
+
+        values, sweeps = hindex_iteration(graph, **options)  # type: ignore[arg-type]
+        result = wrap_coreness(values, "hindex")
+        # the baseline exchanges no messages, so the round/message
+        # stats stay trivial (like bz/peeling); the Jacobi iteration
+        # count — which equals the lockstep engine's convergence
+        # rounds — travels in extra
+        result.stats.extra["sweeps"] = sweeps
+        return result
     if algorithm == "pregel":
         from repro.pregel.kcore import run_pregel_kcore
 

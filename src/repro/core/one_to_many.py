@@ -245,6 +245,13 @@ class OneToManyConfig:
     #: it with ``fixed_rounds``, ``mode="lockstep"`` or ``observers``
     #: raises :class:`ConfigurationError`.
     engine: str = "round"
+    #: Kernel backend for ``engine="flat"`` (see
+    #: :mod:`repro.sim.kernels`): ``"stdlib"`` (canonical, default) or
+    #: ``"numpy"`` (vectorised, optional install). Both activation
+    #: modes and all communication policies accept either backend with
+    #: bit-identical results; a non-default backend on the object
+    #: engines raises :class:`ConfigurationError`.
+    backend: str = "stdlib"
     seed: int | None = 0
     max_rounds: int = 1_000_000
     strict: bool = True
@@ -306,6 +313,15 @@ def run_one_to_many(
         from repro.core.one_to_many_flat import run_one_to_many_flat
 
         return run_one_to_many_flat(graph, config, assignment)
+    if config.backend != "stdlib":
+        # kernel backends belong to the flat engine; silently ignoring
+        # the knob would misreport what actually executed
+        raise ConfigurationError(
+            f"backend={config.backend!r} selects a flat-kernel backend "
+            f"and applies to engine='flat' only, not "
+            f"engine={config.engine!r}; the object engines run "
+            "Process objects, not kernels"
+        )
     if config.engine == "async":
         # the async engine has no rounds: silently ignoring round-engine
         # knobs would report misleading results, so reject them instead

@@ -28,6 +28,7 @@ from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.graph.sharded import ShardedCSR
 from repro.sim.flat_many_engine import FlatOneToManyEngine
+from repro.sim.kernels import resolve_backend
 
 __all__ = ["run_one_to_many_flat"]
 
@@ -61,6 +62,10 @@ def run_one_to_many_flat(
             "the flat engines do not support observers; "
             "use engine='round' for traced runs"
         )
+    # resolved here, in the config layer, so an unknown name or a
+    # missing numpy fails before any shard work starts; both modes and
+    # all communication policies accept both backends
+    backend = resolve_backend(config.backend)
     if isinstance(graph, CSRGraph):
         if assignment is None:
             raise ConfigurationError(
@@ -94,6 +99,7 @@ def run_one_to_many_flat(
         p2p_filter=config.p2p_filter,
         max_rounds=max_rounds,
         strict=strict,
+        backend=backend,
     )
     stats = engine.run()
 

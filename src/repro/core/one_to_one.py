@@ -139,6 +139,15 @@ class OneToOneConfig:
         combining it with ``fixed_rounds``, ``mode="lockstep"`` or
         ``observers`` raises :class:`ConfigurationError`; likewise
         ``latency`` is async-only.
+    backend:
+        Kernel backend for ``engine="flat"`` (see
+        :mod:`repro.sim.kernels`): ``"stdlib"`` (canonical, default)
+        or ``"numpy"`` (vectorised, optional install, bit-identical
+        results). The object engines run no kernels, so a non-default
+        backend combined with ``engine="round"`` / ``"async"`` raises
+        :class:`ConfigurationError`; so does ``backend="numpy"`` with
+        ``mode="peersim"``, whose immediate-delivery activation loop is
+        inherently sequential (stdlib-only — see the support matrix).
     max_rounds:
         Convergence guard; runs that exceed it raise unless ``strict``
         is off, in which case a partial (approximate) result returns.
@@ -151,6 +160,7 @@ class OneToOneConfig:
     mode: str = "peersim"
     optimize_sends: bool = True
     engine: str = "round"
+    backend: str = "stdlib"
     seed: int | None = 0
     max_rounds: int = 1_000_000
     strict: bool = True
@@ -211,6 +221,16 @@ def run_one_to_one(
         raise ConfigurationError(
             f"latency applies to engine='async' only, not "
             f"engine={config.engine!r}"
+        )
+
+    if config.backend != "stdlib" and config.engine != "flat":
+        # kernel backends belong to the flat engines; silently ignoring
+        # the knob would misreport what actually executed
+        raise ConfigurationError(
+            f"backend={config.backend!r} selects a flat-kernel backend "
+            f"and applies to engine='flat' only, not "
+            f"engine={config.engine!r}; the object engines run "
+            "Process objects, not kernels"
         )
 
     if config.engine == "flat":

@@ -18,6 +18,7 @@ from repro.errors import ConfigurationError
 from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.sim.flat_engine import FlatOneToOneEngine, FlatPeerSimEngine
+from repro.sim.kernels import resolve_backend
 
 __all__ = ["run_one_to_one_flat"]
 
@@ -50,6 +51,18 @@ def run_one_to_one_flat(
             "the flat engines do not support observers; "
             "use engine='round' for traced runs"
         )
+    # resolved here, in the config layer, so an unknown name or a
+    # missing numpy fails before any engine work starts
+    backend = resolve_backend(config.backend)
+    if config.mode == "peersim" and backend.name != "stdlib":
+        raise ConfigurationError(
+            f"backend={backend.name!r} is not supported under "
+            "mode='peersim': PeerSim cycle semantics deliver messages "
+            "immediately in a randomized per-node activation order, an "
+            "inherently sequential loop with no batch to vectorise; "
+            "use mode='lockstep' or the default backend='stdlib' "
+            "(see the support matrix in repro.sim.kernels)"
+        )
     if isinstance(graph, CSRGraph):
         csr = graph
         activation_ids = None
@@ -81,6 +94,7 @@ def run_one_to_one_flat(
             optimize_sends=config.optimize_sends,
             max_rounds=max_rounds,
             strict=strict,
+            backend=backend,
         )
     stats = engine.run()
     return DecompositionResult(

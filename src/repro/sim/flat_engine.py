@@ -22,13 +22,22 @@ flat arrays —
   ``computeIndex`` unless they can actually lower ``core[v]``;
 * one shared scratch buffer for ``computeIndex``'s buckets.
 
+Since PR 4 the per-round array work lives in the shared kernel layer
+(:mod:`repro.sim.kernels`): the engines orchestrate rounds, truncation
+and statistics, while a :class:`~repro.sim.kernels.base.KernelBackend`
+executes the seeding / fold / frontier phases. ``backend="stdlib"``
+(default) runs the canonical loops this module used to hold inline;
+``backend="numpy"`` runs the vectorised kernels — bit-identical
+results, chosen per run.
+
 Both delivery disciplines of the object engine are covered:
 
 * :class:`FlatOneToOneEngine` replays ``RoundEngine(mode="lockstep")``
   — the synchronous Section-4 model. Lockstep rounds are
-  order-independent within a round, so the replay drains a frontier
-  deque instead of activating every process, and quiescent regions cost
-  nothing per round.
+  order-independent within a round, so the replay drains a per-round
+  frontier instead of activating every process, quiescent regions cost
+  nothing per round, and every phase is a batch — which is exactly what
+  makes the numpy backend applicable here.
 * :class:`FlatPeerSimEngine` replays ``RoundEngine(mode="peersim")`` —
   PeerSim's cycle semantics used by the Section-5 experiments: a fresh
   random activation order every round, and messages delivered
@@ -38,13 +47,17 @@ Both delivery disciplines of the object engine are covered:
   executed round), so for any seed the coreness, round counts,
   execution time, per-round send counts, and per-node message counts
   are bit-identical to the object engine — t_avg/t_min/t_max spreads
-  over seeds (Table 1) are exactly reproduced, just faster.
+  over seeds (Table 1) are exactly reproduced, just faster. Immediate
+  delivery makes each activation observe the previous one's writes, so
+  this engine is inherently sequential and **stdlib-only** (see the
+  support matrix in :mod:`repro.sim.kernels`).
 
 **Semantics.** Bit-exactness is asserted by
 ``tests/test_flat_equivalence.py`` (lockstep) and
-``tests/test_flat_peersim_equivalence.py`` (peersim). For lockstep this
-holds because message folding is a min and sends are buffered for the
-next round, so replacing "activate every process in pid order" with
+``tests/test_flat_peersim_equivalence.py`` (peersim); backend
+bit-exactness by ``tests/test_backend_equivalence.py``. For lockstep
+this holds because message folding is a min and sends are buffered for
+the next round, so replacing "activate every process in pid order" with
 "drain the frontier" changes no observable state. For peersim the
 activation order *is* observable, so the flat engine replays it
 verbatim from the shared RNG stream.
@@ -60,27 +73,16 @@ from __future__ import annotations
 import random
 import time as _time
 from array import array
-from collections import deque
 from typing import Sequence
 
 from repro.core.compute_index import compute_index
 from repro.errors import ConvergenceError, SimulationError
 from repro.graph.csr import CSRGraph
+from repro.sim.kernels import KernelBackend, export_send_counts, resolve_backend
 from repro.sim.metrics import SimulationStats
 from repro.utils.rng import make_rng
 
 __all__ = ["FlatOneToOneEngine", "FlatPeerSimEngine"]
-
-
-def _export_messages(stats: SimulationStats, ids: array, sent: array) -> None:
-    """Fold flat per-node send counters into the stats object."""
-    per_process = stats.sent_per_process
-    total = 0
-    for i, count in enumerate(sent):
-        if count:
-            per_process[ids[i]] = count
-            total += count
-    stats.total_messages = total
 
 
 class FlatOneToOneEngine:
@@ -90,13 +92,22 @@ class FlatOneToOneEngine:
     ``max_rounds`` bounds the run (exceeding it raises
     :class:`ConvergenceError` when ``strict``, else returns a partial
     result flagged ``converged=False``), ``optimize_sends`` enables the
-    Section 3.1.2 message filter.
+    Section 3.1.2 message filter, and ``backend`` picks the kernel
+    backend (name or instance; see :mod:`repro.sim.kernels`).
 
     After :meth:`run`, :attr:`core` holds the coreness per compact node
     index (``csr.ids[i]`` is the original id).
     """
 
-    __slots__ = ("csr", "optimize_sends", "max_rounds", "strict", "core", "stats")
+    __slots__ = (
+        "csr",
+        "optimize_sends",
+        "max_rounds",
+        "strict",
+        "backend",
+        "core",
+        "stats",
+    )
 
     def __init__(
         self,
@@ -104,12 +115,14 @@ class FlatOneToOneEngine:
         optimize_sends: bool = True,
         max_rounds: int = 1_000_000,
         strict: bool = True,
+        backend: "str | KernelBackend" = "stdlib",
     ) -> None:
         self.csr = csr
         self.optimize_sends = optimize_sends
         self.max_rounds = max_rounds
         self.strict = strict
-        self.core: array = array("q")
+        self.backend = resolve_backend(backend)
+        self.core = self.backend.full(0)
         self.stats = SimulationStats()
 
     # ------------------------------------------------------------------
@@ -117,7 +130,7 @@ class FlatOneToOneEngine:
         """``{original node id: coreness}`` after :meth:`run`."""
         ids = self.csr.ids
         core = self.core
-        return {ids[i]: core[i] for i in range(len(ids))}
+        return {ids[i]: int(core[i]) for i in range(len(ids))}
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationStats:
@@ -131,18 +144,21 @@ class FlatOneToOneEngine:
         test), a delivery needs a recompute only when it drops ``sup``
         below ``core`` — every other message is a single array write.
         After each recompute ``sup`` is re-read from the suffix-summed
-        scratch buffer (``scratch[t]`` is exactly ``#{est >= t}``), which
-        restores the invariant ``sup >= core`` at every round boundary.
+        bucket counts, which restores the invariant ``sup >= core`` at
+        every round boundary. Each round is three kernel calls: fold
+        last round's slots (or seed the round-2 degree delivery), then
+        recompute + emit over the frontier.
         """
         start = _time.perf_counter()
+        kb = self.backend
         csr = self.csr
         stats = self.stats
         n = csr.num_nodes
-        offsets = csr.offsets
-        targets = csr.targets
-        mirror = csr.mirror()
-        owner = csr.edge_owners()
-        num_slots = len(targets)
+        offsets = kb.graph_array(csr.offsets)
+        targets = kb.graph_array(csr.targets)
+        mirror = kb.graph_array(csr.mirror())
+        owner = kb.graph_array(csr.edge_owners())
+        num_slots = len(csr.targets)
         optimize = self.optimize_sends
 
         # est[e] starts at the +∞ sentinel: strictly above any payload
@@ -151,22 +167,13 @@ class FlatOneToOneEngine:
         # unheard-from neighbour, and computeIndex clamps it to k just as
         # it clamps the object engine's `core + 1` default.
         sentinel = csr.max_degree() + 1
-        est = array("q", [sentinel]) * num_slots
-        incoming = array("q", [0]) * num_slots
-        core = self.core = array("q", [0]) * n
-        sup = array("q", [0]) * n
-        sent = array("q", [0]) * n
-        est_view = memoryview(est) if num_slots else est
-
-        # mailboxes: slots that received a message, double-buffered
-        slots_now: list[int] = []
-        slots_next: list[int] = []
+        est = kb.full(num_slots, sentinel)
+        incoming = kb.full(num_slots, 0)
+        core = self.core = kb.full(n, 0)
+        sup = kb.full(n, 0)
+        sent = kb.full(n, 0)
         in_frontier = bytearray(n)
-        frontier: deque[int] = deque()
-        frontier_pop = frontier.popleft
-        frontier_push = frontier.append
         scratch: list[int] = []
-        _compute_index = compute_index
 
         # Round 1: every node initialises to its degree and broadcasts
         # it on every edge — 2m messages, one per slot, no buffering
@@ -174,90 +181,45 @@ class FlatOneToOneEngine:
         # from the CSR offsets.
         rnd = 1
         sends = num_slots
-        for i in range(n):
-            core[i] = sent[i] = offsets[i + 1] - offsets[i]
-        degree = array("q", core)
+        degree = kb.degrees(offsets, n)
+        core[:] = degree
+        sent[:] = degree
         stats.sends_per_round.append(sends)
         if sends:
             stats.execution_time += 1
 
-        first_delivery = True
+        seeded = False
+        slots = None
         while sends:
             if rnd >= self.max_rounds:
                 stats.converged = False
                 stats.rounds_executed = rnd
-                _export_messages(stats, csr.ids, sent)
+                export_send_counts(stats, sent, csr.ids)
                 stats.wall_seconds = _time.perf_counter() - start
                 if self.strict:
                     raise ConvergenceError(rnd)
                 return stats
             rnd += 1
-            if first_delivery:
+            if not seeded:
                 # Round 2: every slot carries its sender's degree.
-                first_delivery = False
-                for v in range(n):
-                    lo = offsets[v]
-                    hi = offsets[v + 1]
-                    k = hi - lo
-                    s = 0
-                    for e in range(lo, hi):
-                        d = degree[targets[e]]
-                        est[e] = d
-                        if d >= k:
-                            s += 1
-                    sup[v] = s
-                    if s < k:
-                        in_frontier[v] = 1
-                        frontier_push(v)
+                seeded = True
+                frontier = kb.seed_estimates(
+                    offsets, targets, owner, degree, est, sup, in_frontier
+                )
             else:
-                # fold last round's sends into est; only deliveries that
-                # push a node's support below its core need a recompute
-                slots_now, slots_next = slots_next, slots_now
-                for slot in slots_now:
-                    value = incoming[slot]
-                    old = est[slot]
-                    if value < old:
-                        est[slot] = value
-                        v = owner[slot]
-                        k = core[v]
-                        if old >= k and value < k:
-                            s = sup[v] - 1
-                            sup[v] = s
-                            if s < k and not in_frontier[v]:
-                                in_frontier[v] = 1
-                                frontier_push(v)
-                slots_now.clear()
-            # recompute + broadcast: only frontier nodes do any work
-            sends = 0
-            while frontier:
-                v = frontier_pop()
-                in_frontier[v] = 0
-                lo = offsets[v]
-                hi = offsets[v + 1]
-                k = core[v]
-                t = _compute_index(est_view[lo:hi], k, scratch)
-                # scratch is the suffix-summed bucket array of that call:
-                # scratch[t] == #{slots with est >= t}, the fresh support
-                sup[v] = scratch[t]
-                if t < k:
-                    core[v] = t
-                    count = 0
-                    for e in range(lo, hi):
-                        if optimize and t >= est[e]:
-                            continue
-                        slot = mirror[e]
-                        incoming[slot] = t
-                        slots_next.append(slot)
-                        count += 1
-                    if count:
-                        sent[v] += count
-                        sends += count
-            stats.sends_per_round.append(sends)
+                frontier = kb.fold_slots(
+                    slots, incoming, est, owner, core, sup, in_frontier
+                )
+            sends, slots = kb.process_frontier(
+                frontier, offsets, targets, mirror, est, core, sup,
+                incoming, sent, optimize, scratch, in_frontier,
+            )
+            stats.sends_per_round.append(int(sends))
             if sends:
                 stats.execution_time += 1
 
         stats.rounds_executed = rnd
-        _export_messages(stats, csr.ids, sent)
+        export_send_counts(stats, sent, csr.ids)
         stats.wall_seconds = _time.perf_counter() - start
         return stats
 
@@ -270,7 +232,10 @@ class FlatPeerSimEngine:
     round shuffles the pid list with the shared RNG stream and activates
     nodes in that order, and a message reaches its destination's mailbox
     *immediately* — a node activated later in a round already sees
-    estimates sent earlier in the same round.
+    estimates sent earlier in the same round. That immediacy makes each
+    activation a tiny data-dependent step, so this engine keeps the
+    canonical scalar loop and supports only the stdlib kernel backend
+    (the config layer rejects ``backend="numpy"`` + peersim loudly).
 
     Parameters
     ----------
@@ -406,7 +371,7 @@ class FlatPeerSimEngine:
             if rnd >= self.max_rounds:
                 stats.converged = False
                 stats.rounds_executed = rnd
-                _export_messages(stats, csr.ids, sent)
+                export_send_counts(stats, sent, csr.ids)
                 stats.wall_seconds = _time.perf_counter() - start
                 if self.strict:
                     raise ConvergenceError(rnd)
@@ -455,6 +420,6 @@ class FlatPeerSimEngine:
                 stats.execution_time += 1
 
         stats.rounds_executed = rnd
-        _export_messages(stats, csr.ids, sent)
+        export_send_counts(stats, sent, csr.ids)
         stats.wall_seconds = _time.perf_counter() - start
         return stats

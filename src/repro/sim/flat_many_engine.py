@@ -15,12 +15,11 @@ in flat per-shard arrays —
   the shard's local index space (owned nodes first, then the external
   boundary — the paper deliberately stores both in one array, and here
   that array is literal);
-* the internal cascade (``improveEstimate``, Algorithm 4) is a worklist
-  over the shard-local CSR: array reads instead of dict lookups, a
-  ``bytearray`` dedupe instead of a ``set``, and the support-counter
-  shortcut of the flat one-to-one engines (``sup[u]`` tracks how many
-  neighbours sit at or above ``est[u]``, so ``computeIndex`` only runs
-  when a drop can actually lower the estimate);
+* the internal cascade (``improveEstimate``, Algorithm 4) runs on the
+  shard-local CSR with the support-counter shortcut of the flat
+  one-to-one engines (``sup[u]`` tracks how many neighbours sit at or
+  above ``est[u]``, so ``computeIndex`` only runs when a drop can
+  actually lower the estimate);
 * host-to-host mailboxes reuse the mailbox-slot scheme of the flat
   one-to-one engines, lifted from (node, node) edges to (host, host)
   channels: a transmission appends ``(ext-slot, value)`` pairs into the
@@ -28,6 +27,18 @@ in flat per-shard arrays —
   array reads, and because estimates only decrease, sequential min-fold
   over the pairs reproduces the object engine's fold of every pending
   payload.
+
+Since PR 4 the seeding / cascade / mailbox-fold array work lives in the
+shared kernel layer (:mod:`repro.sim.kernels`): the engine orchestrates
+host activations, transmissions and statistics while a
+:class:`~repro.sim.kernels.base.KernelBackend` executes the per-shard
+batches. ``backend="stdlib"`` (default) is the canonical worklist;
+``backend="numpy"`` runs the cascade as vectorised Jacobi rounds of
+the same monotone operator — legitimate because the fixpoint, the
+changed-node set and the exact support counters are all
+schedule-independent (see below), and those are the only cascade
+outputs the protocol observes. Both modes and all three communication
+policies accept either backend.
 
 **Semantics.** The engine is an exact replay of
 ``RoundEngine`` driving ``build_host_processes`` output, for both
@@ -46,7 +57,9 @@ those are the only cascade outputs the protocol observes. Coreness,
 round counts, per-round send counts, per-host message counts, and the
 Figure-5 ``estimates_sent`` overhead (under ``broadcast``, ``p2p``, and
 the ``p2p_filter`` extension) all match the object engine bit-for-bit
-per seed; ``tests/test_flat_one_to_many_equivalence.py`` asserts it.
+per seed; ``tests/test_flat_one_to_many_equivalence.py`` asserts it,
+and ``tests/test_backend_equivalence.py`` asserts stdlib/numpy
+bit-identity on the same grid.
 
 **When is it selected?** ``run_one_to_many(engine="flat")`` routes here
 via :mod:`repro.core.one_to_many_flat`. Observers are not supported —
@@ -58,11 +71,10 @@ from __future__ import annotations
 import random
 import time as _time
 from array import array
-from collections import deque
 
-from repro.core.compute_index import compute_index
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.graph.sharded import ShardedCSR
+from repro.sim.kernels import KernelBackend, export_send_counts, resolve_backend
 from repro.sim.metrics import SimulationStats
 from repro.utils.rng import make_rng
 
@@ -90,6 +102,12 @@ class FlatOneToManyEngine:
         The host-level send-filter extension (p2p only).
     max_rounds / strict:
         As in :class:`~repro.sim.flat_engine.FlatOneToOneEngine`.
+    backend:
+        Kernel backend (name or instance; see
+        :mod:`repro.sim.kernels`). Both activation modes and all
+        communication policies support ``"stdlib"`` and ``"numpy"`` —
+        the per-shard batches are vectorisable regardless of the host
+        activation order, which stays in this engine.
 
     After :meth:`run`, :attr:`estimates_sent` holds the Figure-5
     overhead numerator per host and :meth:`coreness` the result.
@@ -103,6 +121,7 @@ class FlatOneToManyEngine:
         "p2p_filter",
         "max_rounds",
         "strict",
+        "backend",
         "stats",
         "estimates_sent",
         "_est",
@@ -117,6 +136,7 @@ class FlatOneToManyEngine:
         p2p_filter: bool = False,
         max_rounds: int = 1_000_000,
         strict: bool = True,
+        backend: "str | KernelBackend" = "stdlib",
     ) -> None:
         if communication not in ("broadcast", "p2p"):
             raise ConfigurationError(
@@ -137,10 +157,11 @@ class FlatOneToManyEngine:
         self.p2p_filter = p2p_filter
         self.max_rounds = max_rounds
         self.strict = strict
+        self.backend = resolve_backend(backend)
         self.stats = SimulationStats()
         #: Figure-5 overhead numerator per host (filled by :meth:`run`).
         self.estimates_sent: array = array("q")
-        self._est: list[array] = []
+        self._est: list = []
 
     # ------------------------------------------------------------------
     def coreness(self) -> dict[int, int]:
@@ -150,7 +171,7 @@ class FlatOneToManyEngine:
         for shard, est in zip(self.sharded.shards, self._est):
             owned_global = shard.owned_global
             for u in range(shard.n_owned):
-                out[ids[owned_global[u]]] = est[u]
+                out[ids[owned_global[u]]] = int(est[u])
         return out
 
     def estimates_sent_total(self) -> int:
@@ -165,6 +186,7 @@ class FlatOneToManyEngine:
         from repro.core.one_to_many import INFINITY_INT
 
         start = _time.perf_counter()
+        kb = self.backend
         stats = self.stats
         sharded = self.sharded
         shards = sharded.shards
@@ -173,11 +195,16 @@ class FlatOneToManyEngine:
         broadcast = self.communication == "broadcast"
         p2p_filter = self.p2p_filter
         rng = make_rng(self.seed) if peersim else None
-        _compute_index = compute_index
         scratch: list[int] = []
 
+        # per-shard graph arrays, adopted once by the backend
+        sh_offsets = [kb.graph_array(s.offsets) for s in shards]
+        sh_targets = [kb.graph_array(s.targets) for s in shards]
+        sh_watch_offsets = [kb.graph_array(s.watch_offsets) for s in shards]
+        sh_watch_targets = [kb.graph_array(s.watch_targets) for s in shards]
+
         est_list = self._est = [
-            array("q", [0]) * (s.n_owned + s.n_ext) for s in shards
+            kb.full(s.n_owned + s.n_ext) for s in shards
         ]
         # sup[u] — the support counter of the flat one-to-one engines,
         # per shard: the number of u's neighbours (internal or external)
@@ -185,13 +212,13 @@ class FlatOneToManyEngine:
         # fewer than est[u] neighbours sit at >= est[u] (its suffix
         # count test), so a neighbour's drop needs a recompute only when
         # it pushes sup below est — every other cascade visit would
-        # return est[u] unchanged and is skipped. After a recompute, sup
-        # is re-read from the suffix-summed scratch buffer, restoring
-        # the invariant exactly.
-        sup_list = [array("q", [0]) * s.n_owned for s in shards]
+        # return est[u] unchanged and is skipped. The kernels maintain
+        # the invariant exactly (recomputes re-read it from the suffix
+        # counts), so it is bit-identical across backends.
+        sup_list = [kb.full(s.n_owned) for s in shards]
         changed_flag = [bytearray(s.n_owned) for s in shards]
         changed_lists: list[list[int]] = [[] for _ in range(num_hosts)]
-        queued = [bytearray(s.n_owned) for s in shards]
+        queued = [kb.worklist_flags(s.n_owned) for s in shards]
         estimates_sent = self.estimates_sent = array("q", [0]) * num_hosts
         sent_msgs = array("q", [0]) * num_hosts
         # p2p transmit scratch: per-destination counts + touched list
@@ -214,48 +241,6 @@ class FlatOneToManyEngine:
             in_msgs = array("q", [0]) * num_hosts
         pending = 0
         sends = 0
-
-        # -- internal cascade (Algorithm 4, worklist over the shard
-        # CSR). Every queued node has sup < est, so every pop genuinely
-        # recomputes; a drop at u propagates to internal neighbours by
-        # adjusting their sup for the crossing (old est >= their level,
-        # new est below it) and enqueueing only those pushed under their
-        # own estimate. Schedule-independent: the fixpoint and the set
-        # of dropped nodes are unique (the operator is monotone), which
-        # is all the protocol observes.
-        def cascade(x: int, queue: deque) -> None:
-            shard = shards[x]
-            est = est_list[x]
-            sup = sup_list[x]
-            offsets = shard.offsets
-            targets = shard.targets
-            n_owned = shard.n_owned
-            qd = queued[x]
-            flags = changed_flag[x]
-            clist = changed_lists[x]
-            while queue:
-                u = queue.popleft()
-                qd[u] = 0
-                cur = est[u]
-                nbrs = targets[offsets[u]:offsets[u + 1]]
-                k = _compute_index([est[t] for t in nbrs], cur, scratch)
-                # scratch[k] is the suffix count #{est >= k}: the
-                # refreshed support (compute_index's post-condition)
-                sup[u] = scratch[k]
-                if k < cur:
-                    est[u] = k
-                    if not flags[u]:
-                        flags[u] = 1
-                        clist.append(u)
-                    for t in nbrs:
-                        if t < n_owned:
-                            level = est[t]
-                            if cur >= level and k < level:
-                                s = sup[t] - 1
-                                sup[t] = s
-                                if s < level and not qd[t]:
-                                    qd[t] = 1
-                                    queue.append(t)
 
         # -- transmit (Algorithm 3's S / Algorithm 5's per-host subsets)
         def emit(x: int, updates: list[tuple[int, int]]) -> None:
@@ -336,35 +321,19 @@ class FlatOneToManyEngine:
         def on_init(x: int) -> None:
             shard = shards[x]
             est = est_list[x]
-            sup = sup_list[x]
-            offsets = shard.offsets
-            targets = shard.targets
             n_owned = shard.n_owned
-            for u in range(n_owned):
-                est[u] = offsets[u + 1] - offsets[u]
-            for s in range(shard.n_ext):
-                est[n_owned + s] = INFINITY_INT
-            # seed supports: neighbours start at their degree (internal)
-            # or +inf (external); only nodes already under-supported at
-            # their own degree can drop in the initial cascade
-            qd = queued[x]
-            queue: deque[int] = deque()
-            for u in range(n_owned):
-                lo = offsets[u]
-                hi = offsets[u + 1]
-                k = hi - lo
-                s = 0
-                for t in targets[lo:hi]:
-                    if est[t] >= k:
-                        s += 1
-                sup[u] = s
-                if s < k:
-                    qd[u] = 1
-                    queue.append(u)
-            if queue:
-                cascade(x, queue)
+            dirty = kb.seed_shard(
+                sh_offsets[x], sh_targets[x], n_owned, shard.n_ext,
+                INFINITY_INT, est, sup_list[x], queued[x],
+            )
+            if len(dirty):
+                kb.cascade(
+                    sh_offsets[x], sh_targets[x], n_owned, est,
+                    sup_list[x], dirty, queued[x], changed_flag[x],
+                    changed_lists[x], scratch,
+                )
             # the initial message carries *all* owned estimates
-            emit(x, [(u, est[u]) for u in range(n_owned)])
+            emit(x, [(u, int(est[u])) for u in range(n_owned)])
             flags = changed_flag[x]
             for u in changed_lists[x]:
                 flags[u] = 0
@@ -375,7 +344,6 @@ class FlatOneToManyEngine:
             nonlocal pending
             shard = shards[x]
             est = est_list[x]
-            sup = sup_list[x]
             n_owned = shard.n_owned
             msgs = mb_msgs[x]
             if msgs:
@@ -383,34 +351,21 @@ class FlatOneToManyEngine:
                 mb_msgs[x] = 0
                 slots = mb_slots[x]
                 vals = mb_vals[x]
-                watch_offsets = shard.watch_offsets
-                watch_targets = shard.watch_targets
-                qd = queued[x]
-                dirty: deque[int] = deque()
-                for s, value in zip(slots, vals):
-                    pos = n_owned + s
-                    old = est[pos]
-                    if value < old:
-                        est[pos] = value
-                        # a watcher needs a recompute only when the drop
-                        # crosses its level and starves its support
-                        for u in watch_targets[
-                            watch_offsets[s]:watch_offsets[s + 1]
-                        ]:
-                            level = est[u]
-                            if old >= level and value < level:
-                                c = sup[u] - 1
-                                sup[u] = c
-                                if c < level and not qd[u]:
-                                    qd[u] = 1
-                                    dirty.append(u)
+                dirty = kb.fold_mailbox(
+                    slots, vals, n_owned, est, sup_list[x],
+                    sh_watch_offsets[x], sh_watch_targets[x], queued[x],
+                )
                 slots.clear()
                 vals.clear()
-                if dirty:
-                    cascade(x, dirty)
+                if len(dirty):
+                    kb.cascade(
+                        sh_offsets[x], sh_targets[x], n_owned, est,
+                        sup_list[x], dirty, queued[x], changed_flag[x],
+                        changed_lists[x], scratch,
+                    )
             clist = changed_lists[x]
             if clist:
-                emit(x, [(u, est[u]) for u in clist])
+                emit(x, [(u, int(est[u])) for u in clist])
                 flags = changed_flag[x]
                 for u in clist:
                     flags[u] = 0
@@ -436,7 +391,7 @@ class FlatOneToManyEngine:
             if rnd >= self.max_rounds:
                 stats.converged = False
                 stats.rounds_executed = rnd
-                self._export_messages(sent_msgs)
+                export_send_counts(stats, sent_msgs)
                 stats.wall_seconds = _time.perf_counter() - start
                 if self.strict:
                     raise ConvergenceError(rnd)
@@ -459,18 +414,6 @@ class FlatOneToManyEngine:
                 stats.execution_time += 1
 
         stats.rounds_executed = rnd
-        self._export_messages(sent_msgs)
+        export_send_counts(stats, sent_msgs)
         stats.wall_seconds = _time.perf_counter() - start
         return stats
-
-    # ------------------------------------------------------------------
-    def _export_messages(self, sent_msgs: array) -> None:
-        """Fold per-host engine-message counters into the stats object."""
-        stats = self.stats
-        per_process = stats.sent_per_process
-        total = 0
-        for x, count in enumerate(sent_msgs):
-            if count:
-                per_process[x] = count
-                total += count
-        stats.total_messages = total

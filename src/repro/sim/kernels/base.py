@@ -1,0 +1,271 @@
+"""The kernel-backend contract shared by every flat engine.
+
+A :class:`KernelBackend` owns the hot-path primitives that used to be
+re-implemented privately inside each flat engine: integer-table
+allocation, the round-2 estimate seeding, the mailbox-slot fold with
+the sup-counter recompute skip, frontier recomputation + send emission
+(Algorithm 1's periodic block), the shard-local cascade (Algorithm 4)
+with its changed-flag bookkeeping, batched ``computeIndex`` (Algorithm
+2), and the bulk-synchronous h-index sweep. Engines orchestrate rounds
+and messages; backends execute the per-round array work.
+
+**The contract.** Every kernel is defined by the canonical stdlib
+implementation (:class:`~repro.sim.kernels.stdlib_backend.
+StdlibBackend` — the loops extracted verbatim from the PR 1-3 engines).
+An alternative backend must be *bit-identical on every observable*: the
+post-call contents of the ``est`` / ``core`` / ``sup`` / ``incoming`` /
+``sent`` arrays and flag buffers it touches, the *set* of frontier /
+dirty / changed nodes and emitted mailbox slots, and every returned
+count. Only container types (``array('q')`` vs ``numpy.ndarray``) and
+the *order* of returned node/slot collections may differ — engines must
+not depend on that order, which is safe because every phase is
+order-independent within itself (folds are min-folds, the cascade
+converges to a unique fixpoint from any schedule, and frontier
+recomputes touch disjoint per-node state).
+
+**Array kinds.** Backends deal in two kinds of flat i64 buffers:
+
+* *graph arrays* — the immutable CSR/shard structure (``offsets``,
+  ``targets``, ``mirror``, edge owners, watcher tables). Engines adopt
+  them once per run through :meth:`KernelBackend.graph_array`, which
+  may return a zero-copy view in the backend's native container.
+* *state tables* — ``est`` / ``core`` / ``sup`` / ``incoming`` /
+  ``sent`` and friends, allocated by :meth:`KernelBackend.full` in the
+  backend's native container. Engines only ever index, slice-assign,
+  and hand them back to kernels, so either container works above.
+
+Scratch conventions: ``scratch`` is the caller-owned ``computeIndex``
+bucket list (ignored by vectorised backends); ``in_frontier`` /
+``queued`` are caller-owned dedupe flag buffers that must be all-zero
+between rounds — backends that do not need them accept and ignore them
+(:meth:`KernelBackend.worklist_flags` returns ``None`` for those).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["KernelBackend", "export_send_counts"]
+
+
+def export_send_counts(stats, sent: Sequence[int], ids=None) -> None:
+    """Fold flat per-process send counters into a stats object.
+
+    The one shared stats-export helper for all flat engines (previously
+    copy-pasted as ``_export_messages`` in both engine modules):
+    ``sent[i]`` messages are attributed to process ``ids[i]`` (or to
+    ``i`` itself when ``ids`` is ``None`` — host pids are already
+    ``0..H-1``). Zero counters stay out of ``sent_per_process``,
+    matching the object engines, and values are coerced to builtin
+    ``int`` so numpy-backed runs export the same payload types.
+    """
+    per_process = stats.sent_per_process
+    total = 0
+    if ids is None:
+        for i, count in enumerate(sent):
+            if count:
+                per_process[i] = int(count)
+                total += count
+    else:
+        for i, count in enumerate(sent):
+            if count:
+                per_process[ids[i]] = int(count)
+                total += count
+    stats.total_messages = int(total)
+
+
+class KernelBackend:
+    """Abstract flat-kernel backend; see the module docstring.
+
+    Concrete backends: :class:`~repro.sim.kernels.stdlib_backend.
+    StdlibBackend` (canonical) and :class:`~repro.sim.kernels.
+    numpy_backend.NumpyBackend` (vectorised, optional). The
+    engine×backend support matrix lives in
+    :mod:`repro.sim.kernels`.
+    """
+
+    #: Registry name ("stdlib" / "numpy").
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+    def full(self, n: int, fill: int = 0):
+        """A length-``n`` i64 state table filled with ``fill``."""
+        raise NotImplementedError
+
+    def graph_array(self, arr):
+        """Adopt an immutable CSR/shard ``array('q')`` buffer.
+
+        May return a zero-copy view; the engine promises not to mutate
+        the result.
+        """
+        raise NotImplementedError
+
+    def degrees(self, offsets, n: int):
+        """Per-node degree table ``offsets[i + 1] - offsets[i]``."""
+        raise NotImplementedError
+
+    def worklist_flags(self, n: int):
+        """Dedupe flag buffer for the shard cascade worklist.
+
+        ``None`` when the backend needs no such scratch (vectorised
+        cascades dedupe with array ops).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Algorithm 2
+    # ------------------------------------------------------------------
+    def compute_index(
+        self, estimates: Iterable[int], k: int, scratch: list | None = None
+    ) -> int:
+        """Scalar ``computeIndex`` (delegates to the canonical kernel)."""
+        raise NotImplementedError
+
+    def batch_compute_index(self, nodes, caps, offsets, edge_values, scratch):
+        """Algorithm 2 over many nodes at once.
+
+        For each position ``p``: run ``computeIndex`` for node
+        ``nodes[p]`` with upper bound ``caps[p]`` over the neighbour
+        estimates ``edge_values[offsets[v]:offsets[v + 1]]``. Returns
+        ``(values, supports)`` aligned with ``nodes``, where
+        ``supports[p]`` is the post-condition suffix count
+        ``#{estimates clamped to caps[p] that are >= values[p]}`` (the
+        flat engines' ``sup``). Nodes with ``caps <= 0`` yield
+        ``(0, 0)``, matching the scalar kernel.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # one-to-one lockstep phases (Algorithm 1 over a CSRGraph)
+    # ------------------------------------------------------------------
+    def seed_estimates(self, offsets, targets, owner, degree, est, sup, in_frontier):
+        """Round-2 delivery: every slot carries its sender's degree.
+
+        Fills ``est[e] = degree[targets[e]]``, seeds the support
+        counters ``sup[v] = #{e in v's slice: est[e] >= degree[v]}``
+        and returns the initial frontier — the nodes with
+        ``sup < degree`` (flagged in ``in_frontier`` by backends that
+        use it).
+        """
+        raise NotImplementedError
+
+    def fold_slots(self, slots, incoming, est, owner, core, sup, in_frontier):
+        """Fold one round of mailbox slots into the estimate table.
+
+        For each delivered slot, record ``incoming[slot]`` into
+        ``est[slot]`` when smaller; a delivery that drops a slot's
+        estimate across its owner's ``core`` level decrements the
+        owner's ``sup``, and owners starved below ``core`` form the
+        returned frontier (each node at most once). ``slots`` is
+        whatever container the same backend's :meth:`process_frontier`
+        returned last round.
+        """
+        raise NotImplementedError
+
+    def process_frontier(
+        self,
+        frontier,
+        offsets,
+        targets,
+        mirror,
+        est,
+        core,
+        sup,
+        incoming,
+        sent,
+        optimize: bool,
+        scratch,
+        in_frontier,
+    ):
+        """Recompute every frontier node and emit its sends.
+
+        Runs ``computeIndex`` per frontier node (refreshing ``sup``
+        from the suffix count), lowers ``core`` on drops, and for each
+        dropped node writes the new estimate into the mirror slot of
+        every retained edge (the Section 3.1.2 filter suppresses edges
+        with ``est <= new core`` when ``optimize``), bumping ``sent``.
+        Returns ``(sends, slots)`` — the emitted message count and the
+        written slots, to be folded next round by :meth:`fold_slots`.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # one-to-many shard phases (Algorithms 3-5 over a HostShard)
+    # ------------------------------------------------------------------
+    def seed_shard(self, offsets, targets, n_owned, n_ext, infinity, est, sup, queued):
+        """Algorithm 3 initialisation for one shard.
+
+        Owned estimates start at their degree, external ones at
+        ``infinity``; seeds ``sup`` like :meth:`seed_estimates` and
+        returns the initial dirty worklist (owned nodes with
+        ``sup < est``) for :meth:`cascade`.
+        """
+        raise NotImplementedError
+
+    def cascade(
+        self,
+        offsets,
+        targets,
+        n_owned,
+        est,
+        sup,
+        dirty,
+        queued,
+        changed_flag,
+        changed_list,
+        scratch,
+    ) -> None:
+        """Algorithm 4 — run the internal cascade to its fixpoint.
+
+        ``dirty`` is the container the same backend's
+        :meth:`seed_shard` / :meth:`fold_mailbox` returned. Every
+        dropped owned node is flagged once in ``changed_flag`` and
+        appended (as a builtin ``int``) to ``changed_list``; ``sup`` is
+        maintained exactly (recomputed nodes re-read it from the suffix
+        count, neighbours of dropped nodes are decremented per level
+        crossing). The fixpoint, the changed set and the final ``sup``
+        are schedule-independent, so worklist and batched
+        implementations agree bit-for-bit.
+        """
+        raise NotImplementedError
+
+    def fold_mailbox(
+        self, slots, vals, n_owned, est, sup, watch_offsets, watch_targets, queued
+    ):
+        """Fold received ``(ext-slot, value)`` pairs into a shard.
+
+        ``slots`` / ``vals`` are parallel builtin lists (the engine's
+        mailbox buffers). Min-folds each external slot, decrements the
+        support of watchers whose level the drop crosses, and returns
+        the dirty worklist (watchers starved below their estimate) for
+        :meth:`cascade`.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # bulk-synchronous sweeps (h-index / Pregel baselines)
+    # ------------------------------------------------------------------
+    def hindex_sweep(self, offsets, targets, values, scratch):
+        """One synchronous (Jacobi) h-index sweep over all nodes.
+
+        Every node's next value is ``computeIndex`` over its
+        neighbours' *previous* values (isolated nodes stay 0). Returns
+        ``(changed, next_values)``; ``values`` itself is not mutated.
+        """
+        raise NotImplementedError
+
+    def count_intra(self, slots, owner, targets, worker_of) -> int:
+        """How many of the given mailbox slots stay inside one worker.
+
+        A slot's message travels ``targets[slot] -> owner[slot]``;
+        counts those with equal ``worker_of`` at both ends. ``slots`` is
+        a container produced by the same backend (or ``None`` for "every
+        slot", the superstep-0 broadcast). Used by the flat Pregel port
+        for its inter-/intra-worker traffic split.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<KernelBackend {self.name}>"

@@ -1,0 +1,334 @@
+"""The optional vectorised numpy kernel backend.
+
+Implements the :class:`~repro.sim.kernels.base.KernelBackend` contract
+with whole-phase array operations instead of per-node Python loops:
+bucket counting becomes a segmented sort, support seeding becomes a
+``bincount``, mailbox folds become masked gathers, and the shard
+cascade runs as synchronous (Jacobi) relaxation rounds of the same
+monotone operator — safe because Algorithm 4's fixpoint, changed set
+and exact support counters are schedule-independent (the flat
+one-to-many engine's module docstring carries the argument; the
+backend-equivalence suite asserts bit-identity against the stdlib
+backend on every gated configuration).
+
+The heart is :meth:`NumpyBackend.batch_compute_index`: Algorithm 2 for
+many nodes at once. Per node, ``computeIndex`` needs the largest
+``i <= k`` with at least ``i`` neighbour estimates ``>= i``. Clamp the
+estimates to ``k``, sort them *descending within each node's segment*
+(one global ``np.sort`` over ``segment * B - value`` keys — segments
+occupy disjoint key blocks, so one flat sort sorts every segment), and
+the answer is the largest in-segment position ``p`` with
+``sorted[p] >= p + 1`` — the classic h-index-by-sorting identity,
+floored at 1 to match the scalar kernel's downward scan. The
+post-condition support ``#{clamped >= t}`` falls out of the same
+sorted array with a segmented sum.
+
+This module must only be imported through
+:func:`repro.sim.kernels.resolve_backend`, which gates on numpy being
+importable; nothing else in the package (or the engines) touches numpy,
+so stdlib-only environments never pay — or need — the import.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compute_index import compute_index
+from repro.sim.kernels.base import KernelBackend
+
+__all__ = ["NumpyBackend"]
+
+_I64 = np.int64
+
+
+def _segments(offsets, nodes):
+    """Gather indices for the concatenated CSR slices of ``nodes``.
+
+    Returns ``(seg, idx, starts, lens)``: ``idx`` indexes the flat edge
+    array so ``flat[idx]`` concatenates every node's slice, ``seg[p]``
+    is the position in ``nodes`` that element ``p`` belongs to, and
+    ``starts`` (length ``len(nodes) + 1``) bounds each segment.
+    """
+    lens = offsets[nodes + 1] - offsets[nodes]
+    starts = np.zeros(len(nodes) + 1, dtype=_I64)
+    np.cumsum(lens, out=starts[1:])
+    total = int(starts[-1])
+    seg = np.repeat(np.arange(len(nodes), dtype=_I64), lens)
+    idx = offsets[nodes][seg] + (np.arange(total, dtype=_I64) - starts[seg])
+    return seg, idx, starts, lens
+
+
+class NumpyBackend(KernelBackend):
+    """Flat kernels over ``numpy.int64`` buffers (see module doc)."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+    def full(self, n: int, fill: int = 0):
+        return np.full(n, fill, dtype=_I64)
+
+    def graph_array(self, arr):
+        if isinstance(arr, np.ndarray):
+            return arr
+        # array('q') exposes the buffer protocol: zero-copy view
+        return np.frombuffer(arr, dtype=_I64) if len(arr) else np.zeros(0, _I64)
+
+    def degrees(self, offsets, n: int):
+        offsets = self.graph_array(offsets)
+        return offsets[1:] - offsets[:-1]
+
+    def worklist_flags(self, n: int):
+        return None  # dedupe happens with np.unique, no flag scratch
+
+    # ------------------------------------------------------------------
+    # Algorithm 2
+    # ------------------------------------------------------------------
+    def compute_index(self, estimates, k, scratch=None):
+        # scalar calls stay on the canonical kernel: a handful of values
+        # cannot amortise any vectorisation
+        return compute_index(estimates, k, scratch)
+
+    def _batch_core(self, seg, starts, caps_seg, vals):
+        """Segmented Algorithm 2 over pre-gathered neighbour values.
+
+        ``vals[p]`` is a neighbour estimate belonging to segment
+        ``seg[p]`` with cap ``caps_seg[p]``; all segments are non-empty
+        and all caps >= 1. Returns ``(t, support)`` per segment.
+        """
+        clamped = np.minimum(vals, caps_seg)
+        # disjoint key blocks per segment; caps >= clamped >= 0
+        bound = int(clamped.max()) + 2 if len(clamped) else 2
+        key = seg * bound + (bound - 1 - clamped)
+        key.sort()
+        desc = (bound - 1) - (key - seg * bound)  # descending per segment
+        pos = np.arange(len(vals), dtype=_I64) - starts[seg]
+        rank = pos + 1
+        t = np.maximum.reduceat(
+            np.where(desc >= rank, rank, 0), starts[:-1]
+        )
+        # the scalar kernel's downward scan bottoms out at 1
+        np.maximum(t, 1, out=t)
+        support = np.add.reduceat(
+            (desc >= t[seg]).astype(_I64), starts[:-1]
+        )
+        return t, support
+
+    def batch_compute_index(self, nodes, caps, offsets, edge_values, scratch):
+        nodes = np.asarray(nodes, dtype=_I64)
+        caps = np.asarray(caps, dtype=_I64)
+        offsets = self.graph_array(offsets)
+        edge_values = self.graph_array(edge_values)
+        values = np.zeros(len(nodes), dtype=_I64)
+        supports = np.zeros(len(nodes), dtype=_I64)
+        if not len(nodes):
+            return values, supports
+        lens = offsets[nodes + 1] - offsets[nodes]
+        live = caps > 0
+        # degree-0 nodes with a positive cap: the scalar kernel's scan
+        # still bottoms out at 1 (support 0)
+        values[live & (lens == 0)] = 1
+        run = np.nonzero(live & (lens > 0))[0]
+        if len(run):
+            sub = nodes[run]
+            seg, idx, starts, _ = _segments(offsets, sub)
+            t, support = self._batch_core(
+                seg, starts, caps[run][seg], edge_values[idx]
+            )
+            values[run] = t
+            supports[run] = support
+        return values, supports
+
+    # ------------------------------------------------------------------
+    # one-to-one lockstep phases
+    # ------------------------------------------------------------------
+    def seed_estimates(self, offsets, targets, owner, degree, est, sup, in_frontier):
+        np.take(degree, targets, out=est)
+        qualifying = est >= degree[owner]
+        sup[:] = np.bincount(owner[qualifying], minlength=len(degree))
+        return np.nonzero(sup < degree)[0]
+
+    def fold_slots(self, slots, incoming, est, owner, core, sup, in_frontier):
+        empty = np.zeros(0, dtype=_I64)
+        if not len(slots):
+            return empty
+        vals = incoming[slots]
+        old = est[slots]
+        lowered = vals < old
+        if not lowered.any():
+            return empty
+        hit = slots[lowered]
+        vals = vals[lowered]
+        old = old[lowered]
+        est[hit] = vals  # slots are unique within a round: plain scatter
+        owners = owner[hit]
+        levels = core[owners]
+        crossing = (old >= levels) & (vals < levels)
+        starved = owners[crossing]
+        np.subtract.at(sup, starved, 1)
+        cand = np.unique(starved)
+        return cand[sup[cand] < core[cand]]
+
+    def process_frontier(
+        self,
+        frontier,
+        offsets,
+        targets,
+        mirror,
+        est,
+        core,
+        sup,
+        incoming,
+        sent,
+        optimize,
+        scratch,
+        in_frontier,
+    ):
+        if not len(frontier):
+            return 0, np.zeros(0, dtype=_I64)
+        caps = core[frontier]
+        seg, idx, starts, _ = _segments(offsets, frontier)
+        vals = est[idx]
+        t, support = self._batch_core(seg, starts, caps[seg], vals)
+        sup[frontier] = support
+        dropped = t < caps
+        core[frontier[dropped]] = t[dropped]
+        emitting = dropped[seg]
+        if optimize:
+            # the Section 3.1.2 filter: only send below the neighbour's
+            # last-heard estimate (est is untouched during this phase)
+            emitting &= t[seg] < vals
+        slots = mirror[idx[emitting]]
+        incoming[slots] = t[seg[emitting]]
+        counts = np.bincount(seg[emitting], minlength=len(frontier))
+        senders = counts > 0
+        sent[frontier[senders]] += counts[senders]
+        return int(counts.sum()), slots
+
+    # ------------------------------------------------------------------
+    # one-to-many shard phases
+    # ------------------------------------------------------------------
+    def seed_shard(self, offsets, targets, n_owned, n_ext, infinity, est, sup, queued):
+        degree = offsets[1:] - offsets[:-1]
+        est[:n_owned] = degree
+        est[n_owned:] = infinity
+        if len(targets):
+            owner = np.repeat(np.arange(n_owned, dtype=_I64), degree)
+            qualifying = est[targets] >= degree[owner]
+            sup[:] = np.bincount(owner[qualifying], minlength=n_owned)
+        else:
+            sup[:] = 0
+        return np.nonzero(sup < degree)[0]
+
+    def cascade(
+        self,
+        offsets,
+        targets,
+        n_owned,
+        est,
+        sup,
+        dirty,
+        queued,
+        changed_flag,
+        changed_list,
+        scratch,
+    ):
+        # Jacobi relaxation rounds of Algorithm 4's monotone operator:
+        # recompute the whole dirty set from a snapshot, apply every
+        # drop at once, then derive the next dirty set from the level
+        # crossings — same fixpoint, changed set and exact sup as the
+        # stdlib worklist (schedule independence).
+        flags = np.frombuffer(changed_flag, dtype=np.uint8)
+        while len(dirty):
+            caps = est[dirty]
+            seg, idx, starts, _ = _segments(offsets, dirty)
+            snapshot = est[targets[idx]]
+            t, support = self._batch_core(seg, starts, caps[seg], snapshot)
+            sup[dirty] = support
+            drop = t < caps
+            du = dirty[drop]
+            if not len(du):
+                break
+            new_levels = t[drop]
+            old_levels = caps[drop]
+            est[du] = new_levels
+            fresh = du[flags[du] == 0]
+            flags[fresh] = 1
+            changed_list.extend(fresh.tolist())
+            # propagate: internal neighbours whose level the drop
+            # crossed lose one support each (batch formula: crossings
+            # are measured against the *post-round* neighbour levels)
+            seg2, idx2, _, _ = _segments(offsets, du)
+            nbrs = targets[idx2]
+            internal = nbrs < n_owned
+            nbrs = nbrs[internal]
+            cur = old_levels[seg2[internal]]
+            new = new_levels[seg2[internal]]
+            levels = est[nbrs]
+            crossing = (cur >= levels) & (new < levels)
+            starved = nbrs[crossing]
+            np.subtract.at(sup, starved, 1)
+            cand = np.unique(starved)
+            dirty = cand[sup[cand] < est[cand]]
+
+    def fold_mailbox(
+        self, slots, vals, n_owned, est, sup, watch_offsets, watch_targets, queued
+    ):
+        empty = np.zeros(0, dtype=_I64)
+        if not slots:
+            return empty
+        slots = np.asarray(slots, dtype=_I64)
+        vals = np.asarray(vals, dtype=_I64)
+        # min-fold duplicates first: estimates only decrease, so the
+        # sequential fold's net effect per slot is the pairwise min
+        uniq, inverse = np.unique(slots, return_inverse=True)
+        mins = np.full(len(uniq), np.iinfo(_I64).max, dtype=_I64)
+        np.minimum.at(mins, inverse, vals)
+        old = est[n_owned + uniq]
+        lowered = mins < old
+        if not lowered.any():
+            return empty
+        uniq = uniq[lowered]
+        new = mins[lowered]
+        old = old[lowered]
+        est[n_owned + uniq] = new
+        seg, idx, _, _ = _segments(watch_offsets, uniq)
+        watchers = watch_targets[idx]
+        levels = est[watchers]  # owned estimates are untouched by folds
+        crossing = (old[seg] >= levels) & (new[seg] < levels)
+        starved = watchers[crossing]
+        np.subtract.at(sup, starved, 1)
+        cand = np.unique(starved)
+        return cand[sup[cand] < est[cand]]
+
+    # ------------------------------------------------------------------
+    # bulk-synchronous sweeps
+    # ------------------------------------------------------------------
+    def hindex_sweep(self, offsets, targets, values, scratch):
+        n = len(values)
+        out = np.zeros(n, dtype=_I64)
+        if len(targets):
+            # degree-0 nodes stay 0; so do nodes already at value 0
+            # (computeIndex returns 0 whenever its cap is <= 0)
+            nodes = np.nonzero(
+                ((offsets[1:] - offsets[:-1]) > 0) & (values > 0)
+            )[0]
+            seg, idx, starts, _ = _segments(offsets, nodes)
+            t, _ = self._batch_core(
+                seg, starts, values[nodes][seg], values[targets[idx]]
+            )
+            out[nodes] = t
+        changed = bool((out != values).any())
+        return changed, out
+
+    def count_intra(self, slots, owner, targets, worker_of):
+        if slots is None:
+            return int(
+                (worker_of[owner] == worker_of[targets]).sum()
+            )
+        if not len(slots):
+            return 0
+        return int(
+            (worker_of[owner[slots]] == worker_of[targets[slots]]).sum()
+        )

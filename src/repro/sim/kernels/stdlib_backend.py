@@ -1,0 +1,276 @@
+"""The canonical pure-stdlib kernel backend.
+
+These are the PR 1-3 hot loops, extracted verbatim from
+``sim/flat_engine.py`` and ``sim/flat_many_engine.py`` so that every
+flat engine (and the flat h-index / Pregel baselines) shares one copy.
+This backend *defines* the kernel contract of
+:mod:`repro.sim.kernels.base`: alternative backends are validated
+against it bit-for-bit. It needs nothing beyond ``array`` and
+``collections`` and is always available — the default everywhere.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import deque
+
+from repro.core.compute_index import compute_index
+from repro.sim.kernels.base import KernelBackend
+
+__all__ = ["StdlibBackend"]
+
+
+class StdlibBackend(KernelBackend):
+    """Flat kernels over stdlib ``array('q')`` buffers (see module doc)."""
+
+    name = "stdlib"
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+    def full(self, n: int, fill: int = 0):
+        return array("q", [fill]) * n
+
+    def graph_array(self, arr):
+        return arr
+
+    def degrees(self, offsets, n: int):
+        deg = array("q", [0]) * n
+        for i in range(n):
+            deg[i] = offsets[i + 1] - offsets[i]
+        return deg
+
+    def worklist_flags(self, n: int):
+        return bytearray(n)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2
+    # ------------------------------------------------------------------
+    def compute_index(self, estimates, k, scratch=None):
+        return compute_index(estimates, k, scratch)
+
+    def batch_compute_index(self, nodes, caps, offsets, edge_values, scratch):
+        if scratch is None:
+            scratch = []
+        values = array("q", [0]) * len(nodes)
+        supports = array("q", [0]) * len(nodes)
+        view = memoryview(edge_values) if len(edge_values) else edge_values
+        for p, v in enumerate(nodes):
+            k = caps[p]
+            if k <= 0:
+                continue
+            t = compute_index(view[offsets[v]:offsets[v + 1]], k, scratch)
+            values[p] = t
+            supports[p] = scratch[t]
+        return values, supports
+
+    # ------------------------------------------------------------------
+    # one-to-one lockstep phases
+    # ------------------------------------------------------------------
+    def seed_estimates(self, offsets, targets, owner, degree, est, sup, in_frontier):
+        frontier = []
+        push = frontier.append
+        for v in range(len(degree)):
+            lo = offsets[v]
+            hi = offsets[v + 1]
+            k = hi - lo
+            s = 0
+            for e in range(lo, hi):
+                d = degree[targets[e]]
+                est[e] = d
+                if d >= k:
+                    s += 1
+            sup[v] = s
+            if s < k:
+                in_frontier[v] = 1
+                push(v)
+        return frontier
+
+    def fold_slots(self, slots, incoming, est, owner, core, sup, in_frontier):
+        # only deliveries that push a node's support below its core need
+        # a recompute — every other message is a single array write
+        frontier = []
+        push = frontier.append
+        for slot in slots:
+            value = incoming[slot]
+            old = est[slot]
+            if value < old:
+                est[slot] = value
+                v = owner[slot]
+                k = core[v]
+                if old >= k and value < k:
+                    s = sup[v] - 1
+                    sup[v] = s
+                    if s < k and not in_frontier[v]:
+                        in_frontier[v] = 1
+                        push(v)
+        return frontier
+
+    def process_frontier(
+        self,
+        frontier,
+        offsets,
+        targets,
+        mirror,
+        est,
+        core,
+        sup,
+        incoming,
+        sent,
+        optimize,
+        scratch,
+        in_frontier,
+    ):
+        est_view = memoryview(est) if len(est) else est
+        _compute_index = compute_index
+        sends = 0
+        slots_next: list[int] = []
+        emit = slots_next.append
+        for v in frontier:
+            in_frontier[v] = 0
+            lo = offsets[v]
+            hi = offsets[v + 1]
+            k = core[v]
+            t = _compute_index(est_view[lo:hi], k, scratch)
+            # scratch is the suffix-summed bucket array of that call:
+            # scratch[t] == #{slots with est >= t}, the fresh support
+            sup[v] = scratch[t]
+            if t < k:
+                core[v] = t
+                count = 0
+                for e in range(lo, hi):
+                    if optimize and t >= est[e]:
+                        continue
+                    slot = mirror[e]
+                    incoming[slot] = t
+                    emit(slot)
+                    count += 1
+                if count:
+                    sent[v] += count
+                    sends += count
+        return sends, slots_next
+
+    # ------------------------------------------------------------------
+    # one-to-many shard phases
+    # ------------------------------------------------------------------
+    def seed_shard(self, offsets, targets, n_owned, n_ext, infinity, est, sup, queued):
+        for u in range(n_owned):
+            est[u] = offsets[u + 1] - offsets[u]
+        for s in range(n_ext):
+            est[n_owned + s] = infinity
+        # seed supports: neighbours start at their degree (internal) or
+        # +inf (external); only nodes already under-supported at their
+        # own degree can drop in the initial cascade
+        dirty: deque[int] = deque()
+        for u in range(n_owned):
+            lo = offsets[u]
+            hi = offsets[u + 1]
+            k = hi - lo
+            s = 0
+            for t in targets[lo:hi]:
+                if est[t] >= k:
+                    s += 1
+            sup[u] = s
+            if s < k:
+                queued[u] = 1
+                dirty.append(u)
+        return dirty
+
+    def cascade(
+        self,
+        offsets,
+        targets,
+        n_owned,
+        est,
+        sup,
+        dirty,
+        queued,
+        changed_flag,
+        changed_list,
+        scratch,
+    ):
+        # Algorithm 4 as a worklist: every queued node has sup < est, so
+        # every pop genuinely recomputes; a drop at u propagates to
+        # internal neighbours by adjusting their sup for the crossing
+        # and enqueueing only those pushed under their own estimate.
+        _compute_index = compute_index
+        queue = dirty
+        while queue:
+            u = queue.popleft()
+            queued[u] = 0
+            cur = est[u]
+            nbrs = targets[offsets[u]:offsets[u + 1]]
+            k = _compute_index([est[t] for t in nbrs], cur, scratch)
+            # scratch[k] is the suffix count #{est >= k}: the refreshed
+            # support (compute_index's post-condition)
+            sup[u] = scratch[k]
+            if k < cur:
+                est[u] = k
+                if not changed_flag[u]:
+                    changed_flag[u] = 1
+                    changed_list.append(u)
+                for t in nbrs:
+                    if t < n_owned:
+                        level = est[t]
+                        if cur >= level and k < level:
+                            s = sup[t] - 1
+                            sup[t] = s
+                            if s < level and not queued[t]:
+                                queued[t] = 1
+                                queue.append(t)
+
+    def fold_mailbox(
+        self, slots, vals, n_owned, est, sup, watch_offsets, watch_targets, queued
+    ):
+        dirty: deque[int] = deque()
+        for s, value in zip(slots, vals):
+            pos = n_owned + s
+            old = est[pos]
+            if value < old:
+                est[pos] = value
+                # a watcher needs a recompute only when the drop crosses
+                # its level and starves its support
+                for u in watch_targets[watch_offsets[s]:watch_offsets[s + 1]]:
+                    level = est[u]
+                    if old >= level and value < level:
+                        c = sup[u] - 1
+                        sup[u] = c
+                        if c < level and not queued[u]:
+                            queued[u] = 1
+                            dirty.append(u)
+        return dirty
+
+    # ------------------------------------------------------------------
+    # bulk-synchronous sweeps
+    # ------------------------------------------------------------------
+    def hindex_sweep(self, offsets, targets, values, scratch):
+        _compute_index = compute_index
+        n = len(values)
+        out = array("q", [0]) * n
+        changed = False
+        for u in range(n):
+            lo = offsets[u]
+            hi = offsets[u + 1]
+            if hi > lo:
+                # isolated nodes have coreness 0; computeIndex's scan
+                # bottoms out at 1, which is only right for degree >= 1
+                new = _compute_index(
+                    (values[targets[e]] for e in range(lo, hi)),
+                    values[u],
+                    scratch,
+                )
+            else:
+                new = 0
+            out[u] = new
+            if new != values[u]:
+                changed = True
+        return changed, out
+
+    def count_intra(self, slots, owner, targets, worker_of):
+        if slots is None:
+            slots = range(len(targets))
+        count = 0
+        for slot in slots:
+            if worker_of[owner[slot]] == worker_of[targets[slot]]:
+                count += 1
+        return count

@@ -1,0 +1,238 @@
+"""Unit tests for the shared flat-kernel layer (:mod:`repro.sim.kernels`).
+
+The engine-level bit-identity of the backends is asserted end-to-end in
+``tests/test_backend_equivalence.py``; here the registry contract and
+the individual kernel primitives are pinned directly — the registry's
+error behaviour, the batched ``computeIndex`` against the scalar
+kernel, the h-index sweep against the pre-kernel reference
+implementation, the worker-traffic counting helper, and the shared
+stats-export utility.
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+
+import pytest
+
+import repro.sim.kernels as kernels
+from repro.core.compute_index import compute_index
+from repro.errors import ConfigurationError
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from repro.sim.kernels import (
+    DEFAULT_BACKEND,
+    KernelBackend,
+    StdlibBackend,
+    available_backends,
+    export_send_counts,
+    numpy_available,
+    resolve_backend,
+)
+from repro.sim.metrics import SimulationStats
+
+BACKENDS = available_backends()
+
+
+def backends():
+    return [resolve_backend(name) for name in BACKENDS]
+
+
+class TestRegistry:
+    def test_default_is_stdlib(self):
+        assert DEFAULT_BACKEND == "stdlib"
+        assert resolve_backend(None).name == "stdlib"
+        assert resolve_backend("stdlib") is resolve_backend(None)
+
+    def test_instances_pass_through(self):
+        backend = StdlibBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(ConfigurationError, match=r"\['stdlib', 'numpy'\]"):
+            resolve_backend("warp")
+
+    def test_available_always_leads_with_default(self):
+        assert available_backends()[0] == DEFAULT_BACKEND
+
+    def test_numpy_gate(self, monkeypatch):
+        monkeypatch.setattr(kernels, "numpy_available", lambda: False)
+        with pytest.raises(ConfigurationError, match="requires numpy"):
+            resolve_backend("numpy")
+
+    @pytest.mark.skipif(not numpy_available(), reason="needs numpy")
+    def test_numpy_backend_is_cached(self):
+        assert resolve_backend("numpy") is resolve_backend("numpy")
+
+    def test_abstract_backend_refuses_work(self):
+        with pytest.raises(NotImplementedError):
+            KernelBackend().full(3)
+
+
+class TestTables:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_full_and_degrees(self, name):
+        backend = resolve_backend(name)
+        table = backend.full(5, 7)
+        assert list(table) == [7] * 5
+        csr = CSRGraph.from_graph(gen.star_graph(4))
+        offsets = backend.graph_array(csr.offsets)
+        assert list(backend.degrees(offsets, csr.num_nodes)) == [4, 1, 1, 1, 1]
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_graph_array_preserves_values(self, name):
+        backend = resolve_backend(name)
+        buf = array("q", [3, 1, 4, 1, 5])
+        assert list(backend.graph_array(buf)) == [3, 1, 4, 1, 5]
+        assert len(backend.graph_array(array("q"))) == 0
+
+
+class TestBatchComputeIndex:
+    """batch_compute_index == the scalar kernel, value and support."""
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_against_scalar_on_random_instances(self, name):
+        backend = resolve_backend(name)
+        rng = random.Random(5)
+        # a synthetic "edge value" layout: 40 nodes with mixed degrees,
+        # including degree-0 nodes and cap-0 nodes
+        lens = [rng.randrange(0, 9) for _ in range(40)]
+        offsets = array("q", [0] * 41)
+        for i, ln in enumerate(lens):
+            offsets[i + 1] = offsets[i] + ln
+        edge_values = array(
+            "q", [rng.randrange(0, 12) for _ in range(offsets[-1])]
+        )
+        nodes = array("q", range(40))
+        caps = array("q", [rng.randrange(0, 10) for _ in range(40)])
+        values, supports = backend.batch_compute_index(
+            backend.graph_array(nodes),
+            backend.graph_array(caps),
+            backend.graph_array(offsets),
+            backend.graph_array(edge_values),
+            [],
+        )
+        for p in range(40):
+            scratch: list[int] = []
+            estimates = edge_values[offsets[p]:offsets[p + 1]]
+            expected = compute_index(estimates, caps[p], scratch)
+            assert values[p] == expected, (name, p)
+            expected_support = scratch[expected] if caps[p] > 0 else 0
+            assert supports[p] == expected_support, (name, p)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_empty_batch(self, name):
+        backend = resolve_backend(name)
+        values, supports = backend.batch_compute_index(
+            backend.graph_array(array("q")),
+            backend.graph_array(array("q")),
+            backend.graph_array(array("q", [0])),
+            backend.graph_array(array("q")),
+            [],
+        )
+        assert len(values) == 0 and len(supports) == 0
+
+
+class TestHindexSweep:
+    """One kernel sweep == the pre-kernel object-graph reference."""
+
+    def _reference_sweep(self, graph, values):
+        nxt = {}
+        changed = False
+        for u in graph.nodes():
+            neighbors = graph.neighbors(u)
+            if neighbors:
+                new = compute_index(
+                    (values[v] for v in neighbors), values[u]
+                )
+            else:
+                new = 0
+            nxt[u] = new
+            if new != values[u]:
+                changed = True
+        return changed, nxt
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_sweep_sequence(self, name):
+        backend = resolve_backend(name)
+        graph = gen.powerlaw_cluster_graph(80, 3, 0.3, seed=2)
+        csr = CSRGraph.from_graph(graph)
+        offsets = backend.graph_array(csr.offsets)
+        targets = backend.graph_array(csr.targets)
+        flat_values = backend.degrees(offsets, csr.num_nodes)
+        ref_values = {u: graph.degree(u) for u in graph.nodes()}
+        for _ in range(6):
+            flat_changed, flat_values = backend.hindex_sweep(
+                offsets, targets, flat_values, []
+            )
+            ref_changed, ref_values = self._reference_sweep(graph, ref_values)
+            assert flat_changed == ref_changed
+            assert {
+                csr.ids[i]: int(flat_values[i]) for i in range(csr.num_nodes)
+            } == ref_values
+            if not flat_changed:
+                break
+
+
+class TestCountIntra:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_split_matches_bruteforce(self, name):
+        backend = resolve_backend(name)
+        csr = CSRGraph.from_graph(gen.grid_graph(4, 5))
+        owner = backend.graph_array(csr.edge_owners())
+        targets = backend.graph_array(csr.targets)
+        worker_of = backend.graph_array(
+            array("q", [i % 3 for i in range(csr.num_nodes)])
+        )
+        expected = sum(
+            1
+            for e in range(len(csr.targets))
+            if csr.edge_owners()[e] % 3 == csr.targets[e] % 3
+        )
+        assert backend.count_intra(None, owner, targets, worker_of) == expected
+        # a subset: every slot owned by worker 0's nodes
+        subset = [
+            e for e in range(len(csr.targets)) if csr.edge_owners()[e] % 3 == 0
+        ]
+        container = (
+            subset
+            if name == "stdlib"
+            else backend.graph_array(array("q", subset))
+        )
+        expected_subset = sum(
+            1 for e in subset if csr.targets[e] % 3 == 0
+        )
+        assert (
+            backend.count_intra(container, owner, targets, worker_of)
+            == expected_subset
+        )
+
+
+class TestExportSendCounts:
+    def test_with_ids(self):
+        stats = SimulationStats()
+        export_send_counts(
+            stats, array("q", [3, 0, 2]), array("q", [10, 20, 30])
+        )
+        assert stats.sent_per_process == {10: 3, 30: 2}
+        assert stats.total_messages == 5
+
+    def test_without_ids_uses_positions(self):
+        stats = SimulationStats()
+        export_send_counts(stats, [0, 4, 1])
+        assert stats.sent_per_process == {1: 4, 2: 1}
+        assert stats.total_messages == 5
+
+    def test_exports_builtin_ints(self):
+        if not numpy_available():
+            pytest.skip("needs numpy")
+        import numpy as np
+
+        stats = SimulationStats()
+        export_send_counts(stats, np.array([2, 0, 1], dtype=np.int64))
+        assert all(
+            type(k) is int and type(v) is int
+            for k, v in stats.sent_per_process.items()
+        )
+        assert type(stats.total_messages) is int
