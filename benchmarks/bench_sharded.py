@@ -39,6 +39,11 @@ run covering both communication policies; the speedup thresholds are
 enforced via ``--require-broadcast-speedup`` / ``--require-p2p-speedup``
 on full runs — and a bound given for a policy that was *not*
 benchmarked fails loudly instead of passing vacuously.
+
+The third execution path of this protocol — ``engine="mp"``, one OS
+process per host shard — is benchmarked by ``bench_mp.py``
+(``BENCH_mp.json``), which adds the transport columns (per-round pipe
+bytes, shard payload sizes) that only a real process fleet can measure.
 """
 
 from __future__ import annotations

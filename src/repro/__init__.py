@@ -22,6 +22,7 @@ from repro.core.one_to_one import OneToOneConfig, run_one_to_one
 from repro.core.one_to_one_flat import run_one_to_one_flat
 from repro.core.one_to_many import OneToManyConfig, run_one_to_many
 from repro.core.one_to_many_flat import run_one_to_many_flat
+from repro.core.one_to_many_mp import run_one_to_many_mp
 from repro.core.result import DecompositionResult
 from repro.core.assignment import Assignment, assign
 from repro.graph.graph import Graph
@@ -55,6 +56,7 @@ __all__ = [
     "read_edge_list",
     "run_one_to_many",
     "run_one_to_many_flat",
+    "run_one_to_many_mp",
     "run_one_to_one",
     "run_one_to_one_flat",
     "write_edge_list",

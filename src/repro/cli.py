@@ -38,12 +38,18 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument(
         "--algorithm", default="one-to-one", choices=sorted(ALGORITHMS)
     )
-    dec.add_argument("--hosts", type=int, default=4,
-                     help="host count (one-to-many only)")
+    dec.add_argument("--hosts", type=int, default=None,
+                     help="host count (one-to-many and pregel; default 4)")
     dec.add_argument(
-        "--engine", default=None, choices=("round", "flat", "async"),
+        "--engine", default=None, choices=("round", "flat", "mp", "async"),
         help="execution engine for one-to-one, one-to-many and pregel "
-        "(default round; flat = CSR fast path, sharded for one-to-many)",
+        "(default round; flat = CSR fast path, sharded for one-to-many; "
+        "mp = one OS process per host shard, one-to-many only)",
+    )
+    dec.add_argument(
+        "--workers", type=int, default=None,
+        help="worker process count for --engine mp (one OS process per "
+        "host shard, so this sets the host count; >= 2)",
     )
     dec.add_argument(
         "--backend", default=None, choices=("stdlib", "numpy"),
@@ -136,6 +142,14 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
             f"--mode has no meaning for algorithm {args.algorithm!r}: "
             "activation modes belong to the one-to-one/one-to-many engines"
         )
+    if args.workers is not None and args.algorithm not in (
+        "one-to-many", "one-to-many-flat", "one-to-many-mp",
+    ):
+        raise ConfigurationError(
+            f"--workers has no meaning for algorithm {args.algorithm!r}: "
+            "it sets the process count of the one-to-many mp engine "
+            "(one OS process per host shard)"
+        )
     if args.algorithm == "one-to-one":
         options["seed"] = args.seed
         options["engine"] = args.engine or "round"
@@ -147,12 +161,38 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
             options["engine"] = args.engine
         if args.mode is not None:
             options["mode"] = args.mode
-    elif args.algorithm in ("one-to-many", "one-to-many-flat"):
-        options.update(seed=args.seed, num_hosts=args.hosts)
+    elif args.algorithm in (
+        "one-to-many", "one-to-many-flat", "one-to-many-mp",
+    ):
+        options.update(seed=args.seed, num_hosts=args.hosts or 4)
         if args.algorithm == "one-to-many":
             options["engine"] = args.engine or "round"
         elif args.engine is not None:
             options["engine"] = args.engine
+        engine_is_mp = (
+            options.get("engine") == "mp"
+            or args.algorithm == "one-to-many-mp"
+        )
+        if args.workers is not None:
+            # one OS process per host shard: --workers IS the host count
+            if not engine_is_mp:
+                raise ConfigurationError(
+                    "--workers sets the process count of --engine mp "
+                    "(one OS process per host shard); for the "
+                    "in-process engines use --hosts"
+                )
+            if args.hosts is not None and args.hosts != args.workers:
+                raise ConfigurationError(
+                    f"--hosts {args.hosts} conflicts with --workers "
+                    f"{args.workers}: the mp engine runs one OS process "
+                    "per host shard, so they name the same number — "
+                    "pass just one"
+                )
+            options["num_hosts"] = args.workers
+        if engine_is_mp and args.mode is None:
+            # the only mode a process fleet can replay; an explicit
+            # --mode peersim still reaches the config layer's rejection
+            options["mode"] = "lockstep"
         if args.mode is not None:
             options["mode"] = args.mode
         if args.communication is not None:
@@ -160,7 +200,7 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         if args.policy is not None:
             options["policy"] = args.policy
     elif args.algorithm == "pregel":
-        options["num_workers"] = args.hosts
+        options["num_workers"] = args.hosts or 4
         if args.engine is not None:
             # the pregel paths are "object" (the BSP master) and
             # "flat"; map the shared --engine vocabulary onto them and

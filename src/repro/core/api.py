@@ -24,6 +24,7 @@ ALGORITHMS = (
     "one-to-one-flat",
     "one-to-many",
     "one-to-many-flat",
+    "one-to-many-mp",
     "bz",
     "peeling",
     "hindex",
@@ -57,6 +58,11 @@ def decompose(
       fast path (see ``BENCH_sharded.json``); identical results per
       (policy, communication, seed), including the Figure-5
       ``estimates_sent`` overhead.
+    * ``"one-to-many-mp"`` — the same protocol with one OS process per
+      host shard and host-to-host batches over real pipes (defaults to
+      ``mode="lockstep"``, the only mode a process fleet can replay);
+      identical results to the flat lockstep path, plus pipe-traffic
+      metrics in ``stats.extra`` (see ``BENCH_mp.json``).
     * ``"bz"`` — sequential Batagelj–Zaveršnik (reference [3]).
     * ``"peeling"`` — sequential peeling by definition.
     * ``"hindex"`` — the synchronous h-index iteration baseline (Lü et
@@ -84,7 +90,7 @@ def decompose(
                 "'one-to-one' to pick an engine explicitly"
             )
         return run_one_to_one(graph, OneToOneConfig(**options))  # type: ignore[arg-type]
-    if algorithm in ("one-to-many", "one-to-many-flat"):
+    if algorithm in ("one-to-many", "one-to-many-flat", "one-to-many-mp"):
         assignment = options.pop("assignment", None)
         if assignment is not None and not isinstance(assignment, Assignment):
             raise ConfigurationError(
@@ -98,6 +104,17 @@ def decompose(
                     f"got engine={options['engine']!r} — use algorithm "
                     "'one-to-many' to pick an engine explicitly"
                 )
+        elif algorithm == "one-to-many-mp":
+            if options.setdefault("engine", "mp") != "mp":
+                raise ConfigurationError(
+                    "algorithm 'one-to-many-mp' implies engine='mp'; "
+                    f"got engine={options['engine']!r} — use algorithm "
+                    "'one-to-many' to pick an engine explicitly"
+                )
+            # lockstep is the only mode a process fleet can replay; an
+            # explicit mode="peersim" still reaches the config layer's
+            # loud rejection
+            options.setdefault("mode", "lockstep")
         return run_one_to_many(
             graph,
             OneToManyConfig(**options),  # type: ignore[arg-type]

@@ -235,23 +235,40 @@ class OneToManyConfig:
     policy: str = "modulo"
     communication: str = "broadcast"
     mode: str = "peersim"
-    #: ``"round"`` (default), ``"flat"`` or ``"async"``. ``"flat"``
-    #: routes to the sharded CSR fast path
+    #: ``"round"`` (default), ``"flat"``, ``"mp"`` or ``"async"``.
+    #: ``"flat"`` routes to the sharded CSR fast path
     #: (:mod:`repro.core.one_to_many_flat`) — an exact replay of the
     #: round engine (identical coreness, rounds, message counts and
     #: ``estimates_sent`` per seed), just faster; it rejects
+    #: ``observers``. ``"mp"`` spawns one OS process per host shard
+    #: (:mod:`repro.core.one_to_many_mp`) with host-to-host batches
+    #: over real pipes — an exact replay of the flat lockstep path; it
+    #: requires ``mode="lockstep"`` and >= 2 hosts and rejects
     #: ``observers``. ``"async"`` runs the host processes under
     #: arbitrary per-message latencies; it has no rounds, so combining
     #: it with ``fixed_rounds``, ``mode="lockstep"`` or ``observers``
     #: raises :class:`ConfigurationError`.
     engine: str = "round"
-    #: Kernel backend for ``engine="flat"`` (see
+    #: Kernel backend for ``engine="flat"`` / ``engine="mp"`` (see
     #: :mod:`repro.sim.kernels`): ``"stdlib"`` (canonical, default) or
     #: ``"numpy"`` (vectorised, optional install). Both activation
     #: modes and all communication policies accept either backend with
-    #: bit-identical results; a non-default backend on the object
-    #: engines raises :class:`ConfigurationError`.
+    #: bit-identical results (the mp engine resolves it per worker
+    #: process); a non-default backend on the object engines raises
+    #: :class:`ConfigurationError`.
     backend: str = "stdlib"
+    #: ``multiprocessing`` start method for ``engine="mp"`` (``None``
+    #: means ``"spawn"`` — portable, and what a real fresh-interpreter
+    #: deployment resembles; ``"fork"``/``"forkserver"`` start much
+    #: faster on POSIX with identical results). Setting it on any other
+    #: engine raises :class:`ConfigurationError` — nothing else spawns.
+    mp_start_method: str | None = None
+    #: Seconds the ``engine="mp"`` coordinator waits for any single
+    #: worker's round report before declaring the fleet wedged
+    #: (``None`` -> 300). Raise it for graphs whose per-round
+    #: fold/cascade legitimately exceeds that on slow machines; like
+    #: ``mp_start_method``, it is rejected on every other engine.
+    mp_reply_timeout: float | None = None
     seed: int | None = 0
     max_rounds: int = 1_000_000
     strict: bool = True
@@ -309,17 +326,30 @@ def run_one_to_many(
     ``stats.extra["estimates_sent_per_node"]`` — the Figure-5 overhead.
     """
     config = config or OneToManyConfig()
+    if config.engine != "mp":
+        for knob in ("mp_start_method", "mp_reply_timeout"):
+            if getattr(config, knob) is not None:
+                raise ConfigurationError(
+                    f"{knob}={getattr(config, knob)!r} configures the "
+                    "multiprocessing fleet and applies to engine='mp' "
+                    f"only, not engine={config.engine!r}; no other "
+                    "engine spawns processes"
+                )
     if config.engine == "flat":
         from repro.core.one_to_many_flat import run_one_to_many_flat
 
         return run_one_to_many_flat(graph, config, assignment)
+    if config.engine == "mp":
+        from repro.core.one_to_many_mp import run_one_to_many_mp
+
+        return run_one_to_many_mp(graph, config, assignment)
     if config.backend != "stdlib":
         # kernel backends belong to the flat engine; silently ignoring
         # the knob would misreport what actually executed
         raise ConfigurationError(
             f"backend={config.backend!r} selects a flat-kernel backend "
-            f"and applies to engine='flat' only, not "
-            f"engine={config.engine!r}; the object engines run "
+            f"and applies to the kernel engines ('flat', 'mp') only, "
+            f"not engine={config.engine!r}; the object engines run "
             "Process objects, not kernels"
         )
     if config.engine == "async":

@@ -72,6 +72,23 @@ class CSRGraph:
         self._edge_owners: array | None = None
 
     # ------------------------------------------------------------------
+    # pickling — a CSRGraph crosses process boundaries (the
+    # multi-process sharded engine ships graph structure to workers), so
+    # the wire format is explicit: the three immutable buffers plus the
+    # name. The lazy caches (_index_of / _mirror / _edge_owners) are
+    # derived data; dropping them keeps payloads minimal and they
+    # rebuild on first use in the receiving process.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> tuple:
+        return (self.offsets, self.targets, self.ids, self.name)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.offsets, self.targets, self.ids, self.name = state
+        self._index_of = None
+        self._mirror = None
+        self._edge_owners = None
+
+    # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     @classmethod

@@ -110,6 +110,40 @@ class HostShard:
         self._dest_slots: dict[int, dict[int, int]] | None = None
         self._remote_slots: dict[int, dict[int, tuple[int, ...]]] | None = None
 
+    # ------------------------------------------------------------------
+    # pickling — the multi-process engine ships exactly one HostShard to
+    # each worker process, so the wire format is explicit: every
+    # precomputed table travels, the lazy caches (_ext_index,
+    # _dest_slots, _remote_slots) are dropped and rebuild on first
+    # access in the receiving process (only the p2p_filter path reads
+    # them, and it is cheaper to rebuild per worker than to ship them).
+    # ------------------------------------------------------------------
+    _PICKLED_SLOTS = (
+        "host",
+        "n_owned",
+        "n_ext",
+        "owned_global",
+        "ext_global",
+        "ext_host",
+        "offsets",
+        "targets",
+        "watch_offsets",
+        "watch_targets",
+        "neighbor_hosts",
+        "deliver",
+        "cut_to",
+    )
+
+    def __getstate__(self) -> dict:
+        return {name: getattr(self, name) for name in self._PICKLED_SLOTS}
+
+    def __setstate__(self, state: dict) -> None:
+        for name in self._PICKLED_SLOTS:
+            setattr(self, name, state[name])
+        self._ext_index = None
+        self._dest_slots = None
+        self._remote_slots = None
+
     def degree(self, u: int) -> int:
         """Degree of owned local node ``u`` (internal + external edges)."""
         return self.offsets[u + 1] - self.offsets[u]
@@ -314,6 +348,19 @@ class ShardedCSR:
             for g in shard_y.ext_global:
                 shards[host_idx[g]].deliver[local_of[g]].append((y, s))
                 s += 1
+
+    # ------------------------------------------------------------------
+    # pickling — explicit state so the whole partition (or any single
+    # shard, see :meth:`HostShard.__getstate__`) round-trips through
+    # ``pickle`` without re-running the O(n + m) build. The coordinator
+    # of the multi-process engine relies on this contract.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for name in self.__slots__:
+            setattr(self, name, state[name])
 
     # ------------------------------------------------------------------
     @classmethod

@@ -24,11 +24,13 @@ Two execution paths (PR 4):
   shared kernel layer (:mod:`repro.sim.kernels`): supersteps are
   lockstep kernel rounds (seed / fold / frontier), and the
   inter-/intra-worker message split is recomputed per superstep from
-  the worker placement array. Supersteps, per-superstep and total
-  message counts, the worker traffic split and the coreness are
-  identical to the object path (``combined_away`` is identically 0 for
-  this program: a vertex sends at most one message per neighbour per
-  superstep, so the per-(sender, destination) combiner never fires).
+  the worker placement array. Supersteps, per-superstep message *and
+  active-vertex* counts (``stats.extra["active_per_superstep"]``, both
+  engines), total messages, the worker traffic split and the coreness
+  are identical to the object path (``combined_away`` is identically 0
+  for this program: a vertex sends at most one message per neighbour
+  per superstep, so the per-(sender, destination) combiner never
+  fires).
   ``backend="stdlib"`` or ``"numpy"`` picks the kernel backend.
 """
 
@@ -148,6 +150,7 @@ def _run_flat(
 
     superstep = 0
     messages_per_superstep: list[int] = []
+    active_per_superstep: list[int] = []
     intra = 0
     sends = 0
     slots = None
@@ -160,10 +163,19 @@ def _run_flat(
         if superstep > 0 and not sends:
             break
         if superstep == 0:
+            # every vertex is initially active and computes once
+            active_per_superstep.append(n)
             core[:] = degree
             sends = num_slots
             intra += kb.count_intra(None, owner, targets, worker_of)
         else:
+            # a vertex is active exactly when last superstep's slots
+            # address it (every vertex votes to halt each superstep, so
+            # only an incoming message reactivates) — the master's
+            # active_per_superstep, recomputed from the slot owners
+            active_per_superstep.append(
+                kb.count_distinct_owners(slots, owner, n)
+            )
             if not seeded:
                 seeded = True
                 frontier = kb.seed_estimates(
@@ -196,6 +208,7 @@ def _run_flat(
         inter_worker_messages=total - intra,
         intra_worker_messages=intra,
         combined_away=0,
+        active_per_superstep=active_per_superstep,
         num_workers=num_workers,
     )
     ids = csr.ids
@@ -276,6 +289,7 @@ def run_pregel_kcore(
         inter_worker_messages=pregel_stats.inter_worker_messages,
         intra_worker_messages=pregel_stats.intra_worker_messages,
         combined_away=pregel_stats.combined_away,
+        active_per_superstep=list(pregel_stats.active_per_superstep),
         num_workers=num_workers,
     )
     coreness = {v.vid: int(v.value) for v in master.vertices.values()}

@@ -243,6 +243,12 @@ class FlatOneToManyEngine:
         sends = 0
 
         # -- transmit (Algorithm 3's S / Algorithm 5's per-host subsets)
+        # NOTE: repro.sim.mp_engine._ShardWorker._emit is the
+        # per-process transcription of this closure (per-dest batches
+        # over queues instead of in-process buffer appends); any change
+        # to a policy branch or to the estimates_sent accounting here
+        # must be mirrored there — tests/test_mp_engine.py enforces the
+        # equivalence across the full grid
         def emit(x: int, updates: list[tuple[int, int]]) -> None:
             nonlocal pending, sends
             shard = shards[x]

@@ -267,5 +267,18 @@ class KernelBackend:
         """
         raise NotImplementedError
 
+    def count_distinct_owners(self, slots, owner, n: int) -> int:
+        """How many distinct receivers the given mailbox slots address.
+
+        ``owner[slot]`` is the node a slot delivers to; counts the
+        distinct owners over ``slots`` (a container produced by the same
+        backend, or ``None`` for "every slot" — the superstep-0
+        broadcast). Used by the flat Pregel port to reproduce the BSP
+        master's per-superstep active-vertex count: a Pregel vertex is
+        active in superstep ``S`` exactly when a message sent in ``S-1``
+        addresses it (every vertex votes to halt each superstep).
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<KernelBackend {self.name}>"

@@ -332,3 +332,10 @@ class NumpyBackend(KernelBackend):
         return int(
             (worker_of[owner[slots]] == worker_of[targets[slots]]).sum()
         )
+
+    def count_distinct_owners(self, slots, owner, n):
+        if slots is None:
+            return int(len(np.unique(owner)))
+        if not len(slots):
+            return 0
+        return int(len(np.unique(owner[slots])))

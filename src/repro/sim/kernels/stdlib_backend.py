@@ -274,3 +274,15 @@ class StdlibBackend(KernelBackend):
             if worker_of[owner[slot]] == worker_of[targets[slot]]:
                 count += 1
         return count
+
+    def count_distinct_owners(self, slots, owner, n):
+        if slots is None:
+            slots = range(len(owner))
+        seen = bytearray(n)
+        count = 0
+        for slot in slots:
+            u = owner[slot]
+            if not seen[u]:
+                seen[u] = 1
+                count += 1
+        return count

@@ -1,0 +1,623 @@
+"""Multi-process execution of the one-to-many protocol.
+
+Every engine before this one simulates the paper's hosts inside a
+single Python process. This module is the first step from "fast
+simulation" to "actually distributed": it spawns **one OS process per
+:class:`~repro.graph.sharded.HostShard`**, each owning its shard's
+kernel state (estimate table, support counters, cascade worklists — on
+either :mod:`repro.sim.kernels` backend), with host-to-host estimate
+batches carried over real ``multiprocessing`` channels and a
+coordinator (the parent process) driving lockstep barriers and the
+global termination check.
+
+**Topology.** Per worker, two channels:
+
+* a control :func:`multiprocessing.Pipe` to the coordinator — round
+  commands down, per-round activity reports up (the same
+  ACTIVE/INACTIVE reporting idea as the centralized master-slave
+  mechanism of :mod:`repro.core.termination`, here carrying exact send
+  counts so the coordinator replays the flat engine's quiescence test
+  ``sends or pending`` instead of a quiet-window heuristic);
+* an inbox :class:`multiprocessing.Queue` (multi-producer safe) into
+  which *other workers* put estimate batches directly — host-to-host
+  payloads never pass through the coordinator.
+
+A batch is pickled **once, by the sender**, to a ``bytes`` payload
+``(deliver_round, sender, slots, vals)``; the queue then only wraps
+bytes, so the measured per-round pipe traffic
+(:attr:`MultiProcessOneToManyEngine.pipe_bytes_per_round`) is the real
+serialized volume and nothing is serialized twice. Batches are tagged
+with the round that must fold them: queues interleave producers
+arbitrarily, so a worker pulling its round-``r`` mail may receive a
+fast neighbour's round-``r+1`` batch early and holds it back until the
+coordinator opens that round.
+
+**Semantics.** The engine is an exact replay of
+:class:`~repro.sim.flat_many_engine.FlatOneToManyEngine` under
+``mode="lockstep"`` — same coreness, executed rounds, per-round send
+counts, per-host message counts and Figure-5 ``estimates_sent``, for
+both communication policies and the ``p2p_filter`` extension, on either
+kernel backend (each worker constructs its own backend instance, so
+numpy state never crosses a pipe). Two properties make the parallel
+replay exact:
+
+* lockstep double-buffers mailboxes (messages sent in round ``r`` are
+  folded in round ``r+1``), so within a round no host observes another
+  host's writes — host activations are embarrassingly parallel;
+* the flat engine fills a host's mailbox in activation order (pid
+  ``0..H-1``); each worker restores exactly that order by sorting the
+  round's batches by sender pid before folding (at most one batch per
+  sender per round under every policy, so the sort is a total order).
+
+``mode="peersim"`` is rejected loudly: PeerSim cycle semantics deliver
+messages *immediately* in a randomized per-host activation order, so
+each activation observes the previous one's writes — an inherently
+sequential schedule that one-process-per-host cannot replay in
+parallel. Use the in-process :class:`FlatOneToManyEngine` for peersim
+runs.
+
+**When is it selected?** ``run_one_to_many(engine="mp")`` routes here
+via :mod:`repro.core.one_to_many_mp`; ``decompose("one-to-many-mp")``
+and the CLI's ``--engine mp --workers N`` are the one-call forms. For
+the graphs this repository benchmarks, the in-process flat engine is
+faster — IPC serialization costs real time (see ``BENCH_mp.json``) —
+so the mp engine is the fidelity/deployment path, not the throughput
+path; the config layer warns when a run is too small to amortize the
+process fan-out.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import time as _time
+import traceback
+from array import array
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.graph.sharded import HostShard, ShardedCSR
+from repro.sim.kernels import export_send_counts, resolve_backend
+from repro.sim.metrics import SimulationStats
+
+__all__ = ["MultiProcessOneToManyEngine", "START_METHODS"]
+
+#: Start methods the engine accepts; ``"spawn"`` is the default — it is
+#: the only method available on every platform and the one a real
+#: deployment (fresh interpreter per worker) resembles. ``"fork"`` is
+#: much cheaper to start on POSIX and produces identical results (the
+#: protocol is deterministic), so test grids use it.
+START_METHODS = ("spawn", "fork", "forkserver")
+
+# control-plane opcodes (coordinator -> worker)
+_INIT = 0  # run round 1 (Algorithm 3 on_init), emit initial batches
+_STEP = 1  # run one activation round: fold expected mail, cascade, emit
+_FINISH = 2  # report final per-shard results
+_EXIT = 3  # leave the command loop
+
+
+class _ShardWorker:
+    """One shard's protocol state inside its worker process.
+
+    A per-shard transcription of the :class:`FlatOneToManyEngine` round
+    body: ``on_init`` / ``activate`` run the identical kernel calls
+    (seed → cascade → emit, fold → cascade → emit) over this shard
+    only, and ``_emit`` routes the resulting ``(ext-slot, value)``
+    batches into the destination workers' inbox queues instead of
+    in-process lists.
+    """
+
+    def __init__(
+        self,
+        host: int,
+        shard: HostShard,
+        num_hosts: int,
+        communication: str,
+        p2p_filter: bool,
+        backend: str,
+        infinity: int,
+        inboxes,
+    ) -> None:
+        kb = resolve_backend(backend)
+        self.kb = kb
+        self.host = host
+        self.shard = shard
+        self.num_hosts = num_hosts
+        self.broadcast = communication == "broadcast"
+        self.p2p_filter = p2p_filter
+        self.inboxes = inboxes
+        self.offsets = kb.graph_array(shard.offsets)
+        self.targets = kb.graph_array(shard.targets)
+        self.watch_offsets = kb.graph_array(shard.watch_offsets)
+        self.watch_targets = kb.graph_array(shard.watch_targets)
+        self.est = kb.full(shard.n_owned + shard.n_ext)
+        self.sup = kb.full(shard.n_owned)
+        self.queued = kb.worklist_flags(shard.n_owned)
+        self.changed_flag = bytearray(shard.n_owned)
+        self.changed_list: list[int] = []
+        self.scratch: list[int] = []
+        self.infinity = infinity
+        self.estimates_sent = 0
+        self.host_counts = array("q", [0]) * num_hosts  # p2p scratch
+
+    # -- transmit (Algorithm 3's S / Algorithm 5's per-host subsets),
+    # identical accounting to FlatOneToManyEngine.emit; returns
+    # (messages sent, {dest: 1}, serialized bytes) for the round report
+    def _emit(self, deliver_round: int, updates: list) -> tuple:
+        shard = self.shard
+        neighbor_hosts = shard.neighbor_hosts
+        if not updates or not neighbor_hosts:
+            # nothing "has to be sent to another host" (Figure 5)
+            return 0, {}, 0
+        deliver = shard.deliver
+        x = self.host
+        out_slots: dict[int, list[int]] = {}
+        out_vals: dict[int, list[int]] = {}
+        if self.broadcast:
+            # one transmission; every estimate counted once, every
+            # neighbour host receives a message (even an empty one —
+            # only border pairs are delivered, as in the flat engine)
+            self.estimates_sent += len(updates)
+            for u, k in updates:
+                for y, s in deliver[u]:
+                    out_slots.setdefault(y, []).append(s)
+                    out_vals.setdefault(y, []).append(k)
+            dests = neighbor_hosts
+        elif not self.p2p_filter:
+            # per-destination subsets; a message exists only where the
+            # subset is non-empty, one overhead unit per (estimate,
+            # destination) pair
+            host_counts = self.host_counts
+            touched: list[int] = []
+            for u, k in updates:
+                for y, s in deliver[u]:
+                    out_slots.setdefault(y, []).append(s)
+                    out_vals.setdefault(y, []).append(k)
+                    c = host_counts[y]
+                    if not c:
+                        touched.append(y)
+                    host_counts[y] = c + 1
+            for y in touched:
+                self.estimates_sent += host_counts[y]
+                host_counts[y] = 0
+            dests = touched
+        else:
+            # the §3.1.2-style host-level filter over stored externals
+            est = self.est
+            n_owned = shard.n_owned
+            dest_slots = shard.dest_slots
+            dests = []
+            for y in neighbor_hosts:
+                dest_get = dest_slots[y].get
+                remote = shard.remote_slots[y]
+                slots: list[int] = []
+                vals: list[int] = []
+                for u, k in updates:
+                    s = dest_get(u)
+                    if s is None:  # u has no neighbour on y
+                        continue
+                    if not any(est[n_owned + t] > k for t in remote[u]):
+                        continue
+                    slots.append(s)
+                    vals.append(k)
+                if slots:
+                    self.estimates_sent += len(slots)
+                    out_slots[y] = slots
+                    out_vals[y] = vals
+                    dests.append(y)
+        per_dest: dict[int, int] = {}
+        nbytes = 0
+        inboxes = self.inboxes
+        for y in dests:
+            payload = pickle.dumps(
+                (deliver_round, x, out_slots.get(y, ()), out_vals.get(y, ())),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            nbytes += len(payload)
+            inboxes[y].put(payload)
+            per_dest[y] = 1
+        return len(dests), per_dest, nbytes
+
+    # -- Algorithm 3 initialisation: degrees in, cascade, full send
+    def on_init(self, deliver_round: int) -> tuple:
+        shard = self.shard
+        est = self.est
+        n_owned = shard.n_owned
+        dirty = self.kb.seed_shard(
+            self.offsets, self.targets, n_owned, shard.n_ext,
+            self.infinity, est, self.sup, self.queued,
+        )
+        if len(dirty):
+            self.kb.cascade(
+                self.offsets, self.targets, n_owned, est, self.sup,
+                dirty, self.queued, self.changed_flag, self.changed_list,
+                self.scratch,
+            )
+        # the initial message carries *all* owned estimates
+        report = self._emit(
+            deliver_round, [(u, int(est[u])) for u in range(n_owned)]
+        )
+        flags = self.changed_flag
+        for u in self.changed_list:
+            flags[u] = 0
+        self.changed_list.clear()
+        return report
+
+    # -- one activation: fold the round's mail, cascade, transmit
+    def activate(self, deliver_round: int, batches: list) -> tuple:
+        shard = self.shard
+        est = self.est
+        n_owned = shard.n_owned
+        if batches:
+            # restore the flat engine's mailbox order: senders append
+            # in activation (pid) order, one batch per sender per round
+            batches.sort(key=lambda b: b[1])
+            slots: list[int] = []
+            vals: list[int] = []
+            for _rnd, _sender, bslots, bvals in batches:
+                slots.extend(bslots)
+                vals.extend(bvals)
+            dirty = self.kb.fold_mailbox(
+                slots, vals, n_owned, est, self.sup,
+                self.watch_offsets, self.watch_targets, self.queued,
+            )
+            if len(dirty):
+                self.kb.cascade(
+                    self.offsets, self.targets, n_owned, est, self.sup,
+                    dirty, self.queued, self.changed_flag,
+                    self.changed_list, self.scratch,
+                )
+        clist = self.changed_list
+        if not clist:
+            return 0, {}, 0
+        report = self._emit(deliver_round, [(u, int(est[u])) for u in clist])
+        flags = self.changed_flag
+        for u in clist:
+            flags[u] = 0
+        clist.clear()
+        return report
+
+    def result(self) -> tuple:
+        """Final per-shard payload: owned estimates + Figure-5 count."""
+        est = self.est
+        owned = [int(est[u]) for u in range(self.shard.n_owned)]
+        return owned, self.estimates_sent
+
+
+def _worker_main(
+    host: int,
+    shard_blob: bytes,
+    num_hosts: int,
+    communication: str,
+    p2p_filter: bool,
+    backend: str,
+    infinity: int,
+    conn,
+    inbox,
+    inboxes,
+) -> None:
+    """Worker process entry point (module-level: spawn-picklable).
+
+    ``shard_blob`` is the coordinator's pickled :class:`HostShard` —
+    shipped as bytes so the one serialization pass also yields the
+    ``shard_payload_bytes`` metric (re-pickling a ``bytes`` payload for
+    process startup costs only a memcpy).
+
+    Runs the command loop: fold/cascade/emit on ``_STEP``, holding back
+    early-arriving batches tagged for a later round. Any exception is
+    reported up the control pipe as ``("error", traceback)`` so the
+    coordinator can fail loudly instead of hanging.
+    """
+    try:
+        worker = _ShardWorker(
+            host, pickle.loads(shard_blob), num_hosts, communication,
+            p2p_filter, backend, infinity, inboxes,
+        )
+        held: dict[int, list] = {}
+        while True:
+            cmd = conn.recv()
+            op = cmd[0]
+            if op == _INIT:
+                sent, per_dest, nbytes = worker.on_init(cmd[1])
+                conn.send(("done", sent, per_dest, nbytes))
+            elif op == _STEP:
+                rnd, expect = cmd[1], cmd[2]
+                batches = held.pop(rnd, [])
+                while len(batches) < expect:
+                    msg = pickle.loads(inbox.get())
+                    if msg[0] == rnd:
+                        batches.append(msg)
+                    else:  # a fast neighbour already sent next-round mail
+                        held.setdefault(msg[0], []).append(msg)
+                sent, per_dest, nbytes = worker.activate(rnd + 1, batches)
+                conn.send(("done", sent, per_dest, nbytes))
+            elif op == _FINISH:
+                conn.send(("result",) + worker.result())
+            elif op == _EXIT:
+                break
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown opcode {op!r}")
+    except (EOFError, KeyboardInterrupt):  # coordinator went away
+        pass
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+
+
+class MultiProcessOneToManyEngine:
+    """Algorithms 3-5 with one OS process per :class:`HostShard`.
+
+    Parameters
+    ----------
+    sharded:
+        The partitioned graph; needs ``num_hosts >= 2`` (a single-host
+        "distribution" has nobody to message — use the in-process
+        engines).
+    communication:
+        ``"broadcast"`` (Algorithm 3) or ``"p2p"`` (Algorithm 5).
+    mode:
+        Only ``"lockstep"`` — the barrier-synchronous discipline a
+        process-per-host deployment can execute in parallel (see the
+        module docstring for why peersim cannot be).
+    p2p_filter / max_rounds / strict / backend:
+        As in :class:`~repro.sim.flat_many_engine.FlatOneToManyEngine`;
+        ``backend`` is resolved *by name inside each worker*, so numpy
+        arrays never cross a pipe.
+    start_method:
+        ``multiprocessing`` start method (default ``"spawn"``).
+    reply_timeout:
+        Seconds the coordinator waits for any single worker round
+        report before declaring the fleet wedged (a real barrier needs
+        a failure detector). ``None`` means 300 — generous for CI
+        boxes; raise it (``OneToManyConfig.mp_reply_timeout``) when a
+        single round's fold/cascade legitimately takes longer.
+
+    After :meth:`run`: :meth:`coreness`, :attr:`estimates_sent` (per
+    host), :attr:`pipe_bytes_per_round` / :attr:`pipe_bytes_total` (the
+    serialized host-to-host traffic; control-plane chatter excluded).
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedCSR,
+        communication: str = "broadcast",
+        mode: str = "lockstep",
+        seed: "int | None" = 0,
+        p2p_filter: bool = False,
+        max_rounds: int = 1_000_000,
+        strict: bool = True,
+        backend: str = "stdlib",
+        start_method: str = "spawn",
+        reply_timeout: "float | None" = None,
+    ) -> None:
+        if communication not in ("broadcast", "p2p"):
+            raise ConfigurationError(
+                f"unknown communication policy {communication!r}; "
+                "options: ['broadcast', 'p2p']"
+            )
+        if p2p_filter and communication != "p2p":
+            raise ConfigurationError("p2p_filter requires the p2p policy")
+        if mode != "lockstep":
+            raise ConfigurationError(
+                f"engine='mp' cannot replay mode={mode!r}: peersim "
+                "delivers messages immediately in a randomized per-host "
+                "activation order, which is inherently sequential across "
+                "processes; use mode='lockstep' (or the in-process "
+                "engine='flat' for peersim runs)"
+            )
+        if sharded.num_hosts < 2:
+            raise ConfigurationError(
+                "engine='mp' spawns one OS process per host shard and "
+                f"needs num_hosts >= 2, got {sharded.num_hosts}; a "
+                "single host exchanges no messages — use engine='flat'"
+            )
+        if start_method not in START_METHODS:
+            raise ConfigurationError(
+                f"unknown start method {start_method!r}; "
+                f"options: {list(START_METHODS)}"
+            )
+        # resolve eagerly so an unknown name / missing numpy fails in
+        # the parent, before any process is spawned; workers re-resolve
+        # by name
+        self.backend_name = resolve_backend(backend).name
+        self.sharded = sharded
+        self.communication = communication
+        self.mode = mode
+        self.seed = seed  # accepted for signature parity; lockstep never draws
+        self.p2p_filter = p2p_filter
+        self.max_rounds = max_rounds
+        self.strict = strict
+        self.start_method = start_method
+        if reply_timeout is not None and reply_timeout <= 0:
+            raise ConfigurationError(
+                f"reply_timeout must be positive, got {reply_timeout!r}"
+            )
+        self.reply_timeout = 300.0 if reply_timeout is None else reply_timeout
+        self.stats = SimulationStats()
+        #: Figure-5 overhead numerator per host (filled by :meth:`run`).
+        self.estimates_sent: array = array("q")
+        #: Serialized host-to-host bytes per round (index 0 == round 1).
+        self.pipe_bytes_per_round: list[int] = []
+        self.pipe_bytes_total: int = 0
+        #: Pickled size of each worker's shard payload (what start-up
+        #: serialization actually shipped) — the cost the config-layer
+        #: guard warns about.
+        self.shard_payload_bytes: list[int] = []
+        self._owned_est: list[list[int]] = []
+
+    # ------------------------------------------------------------------
+    def coreness(self) -> dict[int, int]:
+        """``{original node id: coreness}`` after :meth:`run`."""
+        ids = self.sharded.csr.ids
+        out: dict[int, int] = {}
+        for shard, owned_est in zip(self.sharded.shards, self._owned_est):
+            owned_global = shard.owned_global
+            for u, value in enumerate(owned_est):
+                out[ids[owned_global[u]]] = value
+        return out
+
+    def estimates_sent_total(self) -> int:
+        """Sum of the per-host Figure-5 overhead numerators."""
+        return sum(self.estimates_sent)
+
+    # ------------------------------------------------------------------
+    def _recv(self, x: int) -> tuple:
+        """One worker reply, with a failure detector instead of a hang."""
+        conn = self._conns[x]
+        if not conn.poll(self.reply_timeout):
+            raise RuntimeError(
+                f"mp worker {x} sent no reply within "
+                f"{self.reply_timeout:.0f}s (exitcode="
+                f"{self._procs[x].exitcode}); the shard fleet is wedged"
+            )
+        try:
+            reply = conn.recv()
+        except EOFError:
+            raise RuntimeError(
+                f"mp worker {x} died without a reply (exitcode="
+                f"{self._procs[x].exitcode})"
+            ) from None
+        if reply[0] == "error":
+            raise RuntimeError(
+                f"mp worker {x} failed:\n{reply[1]}"
+            )
+        return reply
+
+    def _shutdown(self, graceful: bool) -> None:
+        # tolerates partial startup: _procs only ever holds *started*
+        # workers, _conns may be one entry longer if Pipe() succeeded
+        # but Process.start() did not
+        for x, proc in enumerate(self._procs):
+            if graceful and proc.is_alive():
+                try:
+                    self._conns[x].send((_EXIT,))
+                except (BrokenPipeError, OSError):
+                    pass
+        for proc in self._procs:
+            proc.join(timeout=5.0 if graceful else 0.5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        for inbox in self._inboxes:
+            # queues are fully drained by the expect-count protocol;
+            # cancel_join_thread keeps an abort from blocking on the
+            # feeder thread of a queue that still buffers data
+            inbox.cancel_join_thread()
+            inbox.close()
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationStats:
+        """Run to quiescence (or ``max_rounds``); returns the stats."""
+        # deferred for the same import-cycle reason as the flat engine
+        from repro.core.one_to_many import INFINITY_INT
+
+        start = _time.perf_counter()
+        stats = self.stats
+        sharded = self.sharded
+        num_hosts = sharded.num_hosts
+        ctx = mp.get_context(self.start_method)
+
+        self._inboxes: list = []
+        self._conns = []
+        self._procs = []
+        self.shard_payload_bytes = []
+
+        sent_msgs = array("q", [0]) * num_hosts
+        pipe_bytes = self.pipe_bytes_per_round = []
+        all_hosts = range(num_hosts)
+        try:
+            # -- spawn the fleet (inside the cleanup scope: a failure
+            # on worker k must not leak workers 0..k-1). Shards are
+            # pickled exactly once — the blob is both the wire payload
+            # and the shard_payload_bytes metric.
+            self._inboxes.extend(ctx.Queue() for _ in range(num_hosts))
+            for x, shard in enumerate(sharded.shards):
+                blob = pickle.dumps(shard, protocol=pickle.HIGHEST_PROTOCOL)
+                self.shard_payload_bytes.append(len(blob))
+                parent_conn, child_conn = ctx.Pipe()
+                self._conns.append(parent_conn)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        x, blob, num_hosts, self.communication,
+                        self.p2p_filter, self.backend_name, INFINITY_INT,
+                        child_conn, self._inboxes[x], self._inboxes,
+                    ),
+                    daemon=True,
+                    name=f"kcore-shard-{x}",
+                )
+                proc.start()
+                self._procs.append(proc)
+                child_conn.close()
+
+            # -- round 1: Algorithm 3 on_init everywhere (lockstep has
+            # no intra-round delivery, so the barrier is the only order)
+            rnd = 1
+            for x in all_hosts:
+                self._conns[x].send((_INIT, rnd + 1))
+            sends = 0
+            round_bytes = 0
+            expect = [0] * num_hosts  # per-dest counts for the next round
+            for x in all_hosts:
+                _tag, sent, per_dest, nbytes = self._recv(x)
+                sends += sent
+                sent_msgs[x] += sent
+                round_bytes += nbytes
+                for y, count in per_dest.items():
+                    expect[y] += count
+            pending = sends
+            stats.sends_per_round.append(sends)
+            pipe_bytes.append(round_bytes)
+            if sends:
+                stats.execution_time += 1
+
+            while sends or pending:
+                if rnd >= self.max_rounds:
+                    stats.converged = False
+                    stats.rounds_executed = rnd
+                    break
+                rnd += 1
+                for x in all_hosts:
+                    self._conns[x].send((_STEP, rnd, expect[x]))
+                delivered = sum(expect)
+                expect = [0] * num_hosts
+                sends = 0
+                round_bytes = 0
+                for x in all_hosts:
+                    _tag, sent, per_dest, nbytes = self._recv(x)
+                    sends += sent
+                    sent_msgs[x] += sent
+                    round_bytes += nbytes
+                    for y, count in per_dest.items():
+                        expect[y] += count
+                pending += sends - delivered
+                stats.sends_per_round.append(sends)
+                pipe_bytes.append(round_bytes)
+                if sends:
+                    stats.execution_time += 1
+            else:
+                stats.rounds_executed = rnd
+
+            # -- gather: owned estimates + Figure-5 counters
+            for x in all_hosts:
+                self._conns[x].send((_FINISH,))
+            self._owned_est = []
+            estimates_sent = self.estimates_sent = array("q")
+            for x in all_hosts:
+                _tag, owned, est_sent = self._recv(x)
+                self._owned_est.append(owned)
+                estimates_sent.append(est_sent)
+        except BaseException:
+            self._shutdown(graceful=False)
+            raise
+        self._shutdown(graceful=True)
+
+        export_send_counts(stats, sent_msgs)
+        self.pipe_bytes_total = sum(pipe_bytes)
+        stats.wall_seconds = _time.perf_counter() - start
+        if not stats.converged and self.strict:
+            raise ConvergenceError(stats.rounds_executed)
+        return stats

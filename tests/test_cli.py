@@ -116,6 +116,78 @@ class TestDecompose:
                  "--algorithm", "one-to-many-flat", "--engine", "async"]
             )
 
+    def test_one_to_many_mp_engine(self, edge_file, capsys):
+        """--engine mp spawns one process per host shard; --workers is
+        the host count and lockstep is implied."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert main(
+                ["decompose", "--edges", edge_file,
+                 "--algorithm", "one-to-many", "--engine", "mp",
+                 "--workers", "2"]
+            ) == 0
+        assert "one-to-many/broadcast/modulo-mp" in capsys.readouterr().out
+
+    def test_one_to_many_mp_algorithm_alias(self, edge_file, capsys):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert main(
+                ["decompose", "--edges", edge_file,
+                 "--algorithm", "one-to-many-mp", "--workers", "2",
+                 "--communication", "p2p"]
+            ) == 0
+        assert "one-to-many/p2p/modulo-mp" in capsys.readouterr().out
+
+    def test_workers_rejected_without_mp_engine(self, edge_file):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--workers"):
+            main(
+                ["decompose", "--edges", edge_file,
+                 "--algorithm", "one-to-many", "--workers", "2"]
+            )
+        with pytest.raises(ConfigurationError, match="--workers"):
+            main(
+                ["decompose", "--edges", edge_file,
+                 "--algorithm", "one-to-one", "--workers", "2"]
+            )
+
+    def test_conflicting_hosts_and_workers_rejected(self, edge_file):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--hosts"):
+            main(
+                ["decompose", "--edges", edge_file,
+                 "--algorithm", "one-to-many", "--engine", "mp",
+                 "--hosts", "8", "--workers", "4"]
+            )
+
+    def test_agreeing_hosts_and_workers_accepted(self, edge_file, capsys):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert main(
+                ["decompose", "--edges", edge_file,
+                 "--algorithm", "one-to-many", "--engine", "mp",
+                 "--hosts", "2", "--workers", "2"]
+            ) == 0
+        assert "-mp" in capsys.readouterr().out
+
+    def test_mp_peersim_rejected_by_config_layer(self, edge_file):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="peersim"):
+            main(
+                ["decompose", "--edges", edge_file,
+                 "--algorithm", "one-to-many", "--engine", "mp",
+                 "--workers", "2", "--mode", "peersim"]
+            )
+
     def test_pregel(self, edge_file, capsys):
         assert main(
             ["decompose", "--edges", edge_file, "--algorithm", "pregel"]

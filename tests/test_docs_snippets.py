@@ -1,0 +1,186 @@
+"""Documentation snippets must execute — docs that drift, fail.
+
+The snippet-runner policy (also enforced by the CI docs job):
+
+* every fenced ``python`` block in ``README.md`` and ``docs/*.md`` is
+  executed, blocks within one file sharing a namespace (like doctest,
+  later blocks may build on earlier imports);
+* in fenced ``bash`` blocks, every line invoking the package CLI
+  (``python -m repro ...``, optionally prefixed with environment
+  variable assignments) runs in-process through :func:`repro.cli.main`
+  and must exit 0; other lines (pip installs, pytest/benchmark
+  invocations, comments) are deliberately out of scope;
+* fenced ``text`` blocks are illustrations, never executed.
+
+A final test pins the README's engine/algorithm and backend tables to
+what the config layer actually accepts, so the support matrix cannot
+silently rot.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+import warnings
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+)
+
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def _blocks(path: Path, language: str) -> list[tuple[int, str]]:
+    """(starting line, body) of every fenced ``language`` block."""
+    blocks = []
+    lines = path.read_text().splitlines()
+    inside = False
+    lang = ""
+    start = 0
+    body: list[str] = []
+    for lineno, line in enumerate(lines, 1):
+        match = _FENCE.match(line)
+        if match and not inside:
+            inside = True
+            lang = match.group(1)
+            start = lineno + 1
+            body = []
+        elif match and inside:
+            inside = False
+            if lang == language:
+                blocks.append((start, "\n".join(body)))
+        elif inside:
+            body.append(line)
+    return blocks
+
+
+def _doc_files_with(language: str) -> list[Path]:
+    return [p for p in DOC_FILES if _blocks(p, language)]
+
+
+@pytest.mark.parametrize(
+    "path", _doc_files_with("python"), ids=lambda p: p.name
+)
+def test_python_snippets_execute(path: Path):
+    namespace: dict = {"__name__": "__docs__"}
+    for start, body in _blocks(path, "python"):
+        try:
+            exec(compile(body, f"{path.name}:{start}", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            pytest.fail(
+                f"python snippet at {path.name}:{start} failed: {exc!r}"
+            )
+
+
+def _cli_lines(path: Path) -> list[tuple[int, list[str]]]:
+    """CLI invocations in bash blocks: (line, argv-for-main)."""
+    invocations = []
+    for start, body in _blocks(path, "bash"):
+        for offset, raw in enumerate(body.splitlines()):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            argv = shlex.split(line)
+            while argv and "=" in argv[0] and not argv[0].startswith("-"):
+                argv.pop(0)  # strip VAR=value prefixes
+            if argv[:3] == ["python", "-m", "repro"]:
+                invocations.append((start + offset, argv[3:]))
+    return invocations
+
+
+@pytest.mark.parametrize(
+    "path", _doc_files_with("bash"), ids=lambda p: p.name
+)
+def test_cli_snippets_execute(path: Path):
+    from repro.cli import main
+
+    invocations = _cli_lines(path)
+    for lineno, argv in invocations:
+        with warnings.catch_warnings():
+            # small doc-sized mp runs may trip the serialization guard
+            warnings.simplefilter("ignore", RuntimeWarning)
+            code = main(argv)
+        assert code == 0, f"CLI snippet at {path.name}:{lineno} exited {code}"
+
+
+def test_readme_has_cli_coverage():
+    """The README actually demonstrates the CLI (guards the policy
+    above against becoming vacuous)."""
+    assert len(_cli_lines(REPO / "README.md")) >= 3
+
+
+class TestSupportMatrixMatchesConfigLayer:
+    """The tables in README.md are claims about the config layer."""
+
+    def test_every_algorithm_is_documented(self):
+        from repro.core.api import ALGORITHMS
+
+        readme = (REPO / "README.md").read_text()
+        for algorithm in ALGORITHMS:
+            assert f"`{algorithm}`" in readme, (
+                f"algorithm {algorithm!r} missing from the README matrix"
+            )
+
+    def test_every_backend_is_documented(self):
+        from repro.sim.kernels import BACKEND_NAMES
+
+        readme = (REPO / "README.md").read_text()
+        for backend in BACKEND_NAMES:
+            assert f"`{backend}`" in readme
+
+    def test_documented_rejections_hold(self, small_social):
+        """Each 'no / n/a' cell in the backend table is a real loud
+        rejection, and each 'yes' cell is accepted (numpy present)."""
+        from repro.core.one_to_many import OneToManyConfig, run_one_to_many
+        from repro.core.one_to_one import OneToOneConfig, run_one_to_one
+        from repro.errors import ConfigurationError
+        from repro.sim.kernels import numpy_available
+
+        # no: numpy × one-to-one peersim
+        with pytest.raises(ConfigurationError):
+            run_one_to_one(
+                small_social,
+                OneToOneConfig(engine="flat", mode="peersim",
+                               backend="numpy"),
+            )
+        # n/a: backend on the object engines
+        with pytest.raises(ConfigurationError):
+            run_one_to_one(
+                small_social,
+                OneToOneConfig(engine="round", backend="numpy"),
+            )
+        with pytest.raises(ConfigurationError):
+            run_one_to_many(
+                small_social,
+                OneToManyConfig(engine="round", backend="numpy"),
+            )
+        # mp: lockstep only
+        with pytest.raises(ConfigurationError):
+            run_one_to_many(
+                small_social,
+                OneToManyConfig(engine="mp", mode="peersim", num_hosts=2),
+            )
+        if not numpy_available():  # pragma: no cover - numpy-less envs
+            return
+        # yes: numpy on flat lockstep paths and on the mp engine
+        oo = run_one_to_one(
+            small_social,
+            OneToOneConfig(engine="flat", mode="lockstep", backend="numpy"),
+        )
+        om = run_one_to_many(
+            small_social,
+            OneToManyConfig(engine="flat", mode="lockstep", num_hosts=3,
+                            backend="numpy"),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            omp = run_one_to_many(
+                small_social,
+                OneToManyConfig(engine="mp", mode="lockstep", num_hosts=2,
+                                backend="numpy", mp_start_method="fork"),
+            )
+        assert oo.coreness == om.coreness == omp.coreness

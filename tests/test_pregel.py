@@ -191,3 +191,43 @@ class TestKCoreOnPregel:
         g = gen.worst_case_graph(10)
         result = run_pregel_kcore(g, optimize_sends=False)
         assert result.stats.extra["supersteps"] == 9  # N - 1
+
+
+class TestFlatEngineEquivalence:
+    """``engine="flat"`` replays the BSP master's observable counters —
+    including the per-superstep active-vertex trace, which the flat
+    path recomputes from the slot owners instead of vertex flags."""
+
+    FAMILIES = {
+        "er": lambda: gen.erdos_renyi_graph(120, 0.045, seed=7),
+        "er-with-isolated": lambda: gen.erdos_renyi_graph(130, 0.012, seed=5),
+        "star": lambda: gen.star_graph(12),
+        "worst-case": lambda: gen.worst_case_graph(24),
+        "caveman": lambda: gen.caveman_graph(6, 6),
+        "empty": lambda: gen.empty_graph(9),
+    }
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("optimize_sends", (True, False))
+    def test_counters_match(self, family, optimize_sends):
+        g = self.FAMILIES[family]()
+        obj = run_pregel_kcore(
+            g, num_workers=3, optimize_sends=optimize_sends
+        )
+        flat = run_pregel_kcore(
+            g, num_workers=3, optimize_sends=optimize_sends, engine="flat"
+        )
+        assert flat.coreness == obj.coreness
+        assert flat.stats.rounds_executed == obj.stats.rounds_executed
+        assert flat.stats.sends_per_round == obj.stats.sends_per_round
+        assert flat.stats.extra == obj.stats.extra
+
+    def test_active_per_superstep_surfaced(self, small_social):
+        obj = run_pregel_kcore(small_social, num_workers=2)
+        flat = run_pregel_kcore(small_social, num_workers=2, engine="flat")
+        active_obj = obj.stats.extra["active_per_superstep"]
+        active_flat = flat.stats.extra["active_per_superstep"]
+        assert active_flat == active_obj
+        # one entry per superstep; superstep 0 activates every vertex
+        assert len(active_obj) == obj.stats.extra["supersteps"]
+        assert active_obj[0] == small_social.num_nodes
