@@ -22,8 +22,13 @@ from repro.core.one_to_one import OneToOneConfig, run_one_to_one
 from repro.core.one_to_one_flat import run_one_to_one_flat
 from repro.core.one_to_many import OneToManyConfig, run_one_to_many
 from repro.core.one_to_many_flat import run_one_to_many_flat
-from repro.core.one_to_many_mp import run_one_to_many_mp
+from repro.core.one_to_many_mp import (
+    resume_from_checkpoint,
+    run_one_to_many_mp,
+)
 from repro.core.result import DecompositionResult
+from repro.sim.checkpoint import CheckpointPolicy
+from repro.sim.faults import Fault, FaultPlan
 from repro.core.assignment import Assignment, assign
 from repro.graph.graph import Graph
 from repro.graph.csr import CSRGraph
@@ -39,7 +44,10 @@ __all__ = [
     "ALGORITHMS",
     "Assignment",
     "CSRGraph",
+    "CheckpointPolicy",
     "DecompositionResult",
+    "Fault",
+    "FaultPlan",
     "Graph",
     "GraphStats",
     "HostShard",
@@ -54,6 +62,7 @@ __all__ = [
     "generators",
     "peeling_coreness",
     "read_edge_list",
+    "resume_from_checkpoint",
     "run_one_to_many",
     "run_one_to_many_flat",
     "run_one_to_many_mp",

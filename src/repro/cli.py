@@ -35,8 +35,15 @@ def build_parser() -> argparse.ArgumentParser:
     source = dec.add_mutually_exclusive_group(required=True)
     source.add_argument("--edges", help="path to a SNAP-style edge list")
     source.add_argument("--dataset", help="name of a registered dataset")
+    source.add_argument(
+        "--resume", metavar="CHECKPOINT_DIR",
+        help="resume an interrupted --engine mp run from its checkpoint "
+        "directory (graph, algorithm and all engine settings come from "
+        "the checkpoint manifest, so no other flags apply)",
+    )
     dec.add_argument(
-        "--algorithm", default="one-to-one", choices=sorted(ALGORITHMS)
+        "--algorithm", default=None, choices=sorted(ALGORITHMS),
+        help="decomposition algorithm (default one-to-one)",
     )
     dec.add_argument("--hosts", type=int, default=None,
                      help="host count (one-to-many and pregel; default 4)")
@@ -73,6 +80,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("modulo", "block", "random", "bfs"),
         help="node->host placement policy (one-to-many only; "
         "default the paper's modulo)",
+    )
+    dec.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="--engine mp only: snapshot the fleet every N rounds into "
+        "--checkpoint-dir (atomic, resumable with --resume)",
+    )
+    dec.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="directory for --checkpoint-every snapshots (required "
+        "together with it)",
     )
     dec.add_argument("--seed", type=int, default=0)
     dec.add_argument("--scale", type=float, default=1.0,
@@ -123,7 +140,63 @@ def _load_graph(args: argparse.Namespace):
     return load(args.dataset, scale=args.scale, seed=args.seed if hasattr(args, "seed") else 0)
 
 
+def _print_result(result, top: int) -> None:
+    print(
+        f"algorithm: {result.algorithm}  k_max={result.max_coreness}  "
+        f"k_avg={result.average_coreness:.2f}"
+    )
+    if result.stats.rounds_executed:
+        print(
+            f"rounds={result.stats.execution_time}  "
+            f"messages={result.stats.total_messages}"
+        )
+    rows = [
+        (node, result.coreness[node])
+        for node in result.top_spreaders(top)
+    ]
+    print(format_table(("node", "coreness"), rows, title="top nodes"))
+    shells = result.shell_sizes()
+    print(format_table(
+        ("k", "shell size"), sorted(shells.items()), title="shell sizes"
+    ))
+
+
 def _cmd_decompose(args: argparse.Namespace) -> int:
+    if args.resume is not None:
+        # everything about a resumed run — graph, algorithm, engine
+        # settings — is fixed by the checkpoint manifest; a flag that
+        # tried to change any of it would be silently ignored, so
+        # reject instead
+        for flag, value in (
+            ("--algorithm", args.algorithm),
+            ("--hosts", args.hosts),
+            ("--engine", args.engine),
+            ("--workers", args.workers),
+            ("--backend", args.backend),
+            ("--mode", args.mode),
+            ("--communication", args.communication),
+            ("--policy", args.policy),
+            ("--checkpoint-every", args.checkpoint_every),
+            ("--checkpoint-dir", args.checkpoint_dir),
+        ):
+            if value is not None:
+                raise ConfigurationError(
+                    f"{flag} cannot be combined with --resume: a resumed "
+                    "run takes every setting from the checkpoint "
+                    "manifest (further checkpoints keep landing in the "
+                    "same directory)"
+                )
+        from repro.core.one_to_many_mp import resume_from_checkpoint
+
+        result = resume_from_checkpoint(args.resume)
+        print(
+            f"resumed: {args.resume}  nodes={len(result.coreness)}  "
+            f"from_round={result.stats.extra.get('resumed_from_round')}"
+        )
+        _print_result(result, args.top)
+        return 0
+    if args.algorithm is None:
+        args.algorithm = "one-to-one"
     graph = _load_graph(args)
     # conflicting combinations (--engine async with --mode, --engine on
     # a -flat algorithm, ...) are forwarded as given: the config layer
@@ -149,6 +222,16 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
             f"--workers has no meaning for algorithm {args.algorithm!r}: "
             "it sets the process count of the one-to-many mp engine "
             "(one OS process per host shard)"
+        )
+    if (
+        args.checkpoint_every is not None or args.checkpoint_dir is not None
+    ) and args.algorithm not in (
+        "one-to-many", "one-to-many-flat", "one-to-many-mp",
+    ):
+        raise ConfigurationError(
+            "--checkpoint-every/--checkpoint-dir have no meaning for "
+            f"algorithm {args.algorithm!r}: they configure the "
+            "one-to-many mp fleet's snapshots"
         )
     if args.algorithm == "one-to-one":
         options["seed"] = args.seed
@@ -193,6 +276,26 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
             # the only mode a process fleet can replay; an explicit
             # --mode peersim still reaches the config layer's rejection
             options["mode"] = "lockstep"
+        if args.checkpoint_every is not None or args.checkpoint_dir is not None:
+            if args.checkpoint_every is None or args.checkpoint_dir is None:
+                raise ConfigurationError(
+                    "--checkpoint-every and --checkpoint-dir name one "
+                    "policy (how often, where) and must be passed "
+                    "together"
+                )
+            if not engine_is_mp:
+                raise ConfigurationError(
+                    "--checkpoint-every/--checkpoint-dir configure the "
+                    "mp fleet's snapshots and need --engine mp (or "
+                    "--algorithm one-to-many-mp): the in-process "
+                    "engines cannot lose a worker"
+                )
+            from repro.sim.checkpoint import CheckpointPolicy
+
+            options["checkpoint"] = CheckpointPolicy(
+                every_n_rounds=args.checkpoint_every,
+                dir=args.checkpoint_dir,
+            )
         if args.mode is not None:
             options["mode"] = args.mode
         if args.communication is not None:

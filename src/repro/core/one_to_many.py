@@ -37,6 +37,7 @@ from repro.core.compute_index import (
 from repro.core.result import DecompositionResult
 from repro.errors import ConfigurationError
 from repro.graph.graph import Graph
+from repro.sim.checkpoint import CheckpointPolicy
 from repro.sim.engine import Observer, RoundEngine
 from repro.sim.node import Context, Message, Process
 
@@ -264,11 +265,22 @@ class OneToManyConfig:
     #: engine raises :class:`ConfigurationError` — nothing else spawns.
     mp_start_method: str | None = None
     #: Seconds the ``engine="mp"`` coordinator waits for any single
-    #: worker's round report before declaring the fleet wedged
-    #: (``None`` -> 300). Raise it for graphs whose per-round
-    #: fold/cascade legitimately exceeds that on slow machines; like
-    #: ``mp_start_method``, it is rejected on every other engine.
+    #: worker's round report before its failure detector fires
+    #: (``None`` derives a round-aware default from the per-worker load:
+    #: :func:`repro.sim.mp_engine.default_reply_timeout`). Raise it for
+    #: graphs whose per-round fold/cascade legitimately exceeds the
+    #: derived value on slow machines; like ``mp_start_method``, it is
+    #: rejected on every other engine.
     mp_reply_timeout: float | None = None
+    #: Fault tolerance for ``engine="mp"``: a
+    #: :class:`~repro.sim.checkpoint.CheckpointPolicy` makes the fleet
+    #: snapshot worker state + in-flight mail every N rounds to an
+    #: atomic, checksummed on-disk checkpoint, and enables in-flight
+    #: recovery of a lost worker (respawn from the last checkpoint +
+    #: deterministic replay). ``None`` (default) runs without snapshots.
+    #: Like the other ``mp_*`` knobs, rejected on every other engine —
+    #: the in-process engines cannot lose a worker.
+    checkpoint: CheckpointPolicy | None = None
     seed: int | None = 0
     max_rounds: int = 1_000_000
     strict: bool = True
@@ -327,7 +339,7 @@ def run_one_to_many(
     """
     config = config or OneToManyConfig()
     if config.engine != "mp":
-        for knob in ("mp_start_method", "mp_reply_timeout"):
+        for knob in ("mp_start_method", "mp_reply_timeout", "checkpoint"):
             if getattr(config, knob) is not None:
                 raise ConfigurationError(
                     f"{knob}={getattr(config, knob)!r} configures the "

@@ -24,10 +24,20 @@ Configuration contract (all rejections are loud, none silent):
   too small to amortize process startup + per-round pickling —
   correctness is unaffected (the replay is exact at any size), so the
   guard informs rather than rejects.
+
+Fault tolerance rides on the same glue: ``config.checkpoint`` threads a
+:class:`~repro.sim.checkpoint.CheckpointPolicy` into the engine (which
+then also recovers lost workers in flight), a ``fault_plan`` keyword
+injects scripted failures for tests/benchmarks, and
+:func:`resume_from_checkpoint` restarts a whole fleet from a checkpoint
+directory — the path for coordinator death, where no in-flight recovery
+is possible. Recovery telemetry lands in ``stats.extra``
+(``recoveries`` / ``checkpoint_bytes`` / ``resumed_from_round``).
 """
 
 from __future__ import annotations
 
+import pickle
 import warnings
 
 from repro.core.assignment import Assignment, assign
@@ -36,9 +46,15 @@ from repro.errors import ConfigurationError
 from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.graph.sharded import ShardedCSR
+from repro.sim.checkpoint import CheckpointPolicy, load_checkpoint
+from repro.sim.faults import FaultPlan
 from repro.sim.mp_engine import MultiProcessOneToManyEngine
 
-__all__ = ["run_one_to_many_mp", "MP_SMALL_RUN_NODES_PER_WORKER"]
+__all__ = [
+    "run_one_to_many_mp",
+    "resume_from_checkpoint",
+    "MP_SMALL_RUN_NODES_PER_WORKER",
+]
 
 #: Below this many owned nodes per worker the IPC bill (process spawn,
 #: shard pickling, per-round batch serialization) dominates the actual
@@ -51,6 +67,7 @@ def run_one_to_many_mp(
     graph: "Graph | CSRGraph",
     config=None,
     assignment: Assignment | None = None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> DecompositionResult:
     """Run Algorithms 3-5 with one OS process per host shard.
 
@@ -105,6 +122,7 @@ def run_one_to_many_mp(
     if config.fixed_rounds is not None:
         max_rounds = config.fixed_rounds
         strict = False
+    algorithm = f"one-to-many/{config.communication}/{assignment.policy}-mp"
     engine = MultiProcessOneToManyEngine(
         sharded,
         communication=config.communication,
@@ -116,7 +134,12 @@ def run_one_to_many_mp(
         backend=config.backend,
         start_method=config.mp_start_method or "spawn",
         reply_timeout=config.mp_reply_timeout,
+        checkpoint=config.checkpoint,
+        fault_plan=fault_plan,
     )
+    # persisted into checkpoint manifests so a resumed run reports the
+    # same algorithm label without the original Graph or Assignment
+    engine.checkpoint_meta = {"algorithm": algorithm}
     # the serialization-cost guard fires only once the configuration is
     # known-valid, so a warning never precedes a rejection
     if num_nodes < MP_SMALL_RUN_NODES_PER_WORKER * workers:
@@ -144,10 +167,88 @@ def run_one_to_many_mp(
     stats.extra["pipe_bytes_total"] = engine.pipe_bytes_total
     stats.extra["pipe_bytes_per_round"] = list(engine.pipe_bytes_per_round)
     stats.extra["shard_payload_bytes"] = list(engine.shard_payload_bytes)
+    _export_recovery_extra(stats, engine)
     return DecompositionResult(
         coreness=engine.coreness(),
         stats=stats,
-        algorithm=(
-            f"one-to-many/{config.communication}/{assignment.policy}-mp"
+        algorithm=algorithm,
+    )
+
+
+def _export_recovery_extra(stats, engine) -> None:
+    """Fault-tolerance telemetry, present whenever it could be nonzero."""
+    if (
+        engine.checkpoint is not None
+        or engine.fault_plan is not None
+        or engine.resilient
+        or engine.resumed_from_round is not None
+    ):
+        stats.extra["recoveries"] = list(engine.recoveries)
+        stats.extra["checkpoint_bytes"] = engine.checkpoint_bytes
+        stats.extra["resumed_from_round"] = engine.resumed_from_round
+
+
+def resume_from_checkpoint(
+    dir: str,
+    max_rounds: "int | None" = None,
+    strict: "bool | None" = None,
+) -> DecompositionResult:
+    """Restart a whole mp fleet from the checkpoint committed in ``dir``.
+
+    The recovery path for *coordinator* death (in-flight recovery only
+    covers a lost worker): a fresh coordinator loads the verified
+    checkpoint (:func:`repro.sim.checkpoint.load_checkpoint` — checksum
+    + format-version enforced), rebuilds the fleet from the pickled
+    :class:`~repro.graph.sharded.ShardedCSR`, restores every worker from
+    its snapshot, and continues the lockstep loop from the checkpointed
+    round. The completed run is bit-identical to one that was never
+    interrupted: same coreness, rounds, per-round send counts and
+    ``estimates_sent`` (cumulative counters are restored from the
+    manifest, not reset).
+
+    ``max_rounds`` / ``strict`` override the checkpointed values (the
+    original run may have been truncated deliberately via
+    ``fixed_rounds``); everything else — communication policy, backend,
+    start method, checkpoint cadence (further checkpoints keep being
+    written to ``dir``) — comes from the manifest.
+    """
+    ckpt = load_checkpoint(dir)
+    cfg = ckpt.config
+    sharded = pickle.loads(ckpt.fleet_blob)
+    engine = MultiProcessOneToManyEngine(
+        sharded,
+        communication=cfg["communication"],
+        mode="lockstep",
+        p2p_filter=cfg["p2p_filter"],
+        max_rounds=cfg["max_rounds"] if max_rounds is None else max_rounds,
+        strict=cfg["strict"] if strict is None else strict,
+        backend=cfg["backend"],
+        start_method=cfg["start_method"],
+        checkpoint=CheckpointPolicy(
+            every_n_rounds=cfg["checkpoint_every"], dir=dir
         ),
+    )
+    engine.checkpoint_meta = {"algorithm": cfg["algorithm"]}
+    engine._resume = ckpt
+    stats = engine.run()
+
+    num_nodes = sharded.csr.num_nodes
+    workers = sharded.num_hosts
+    estimates_sent = engine.estimates_sent_total()
+    stats.extra["estimates_sent_total"] = estimates_sent
+    stats.extra["estimates_sent_per_node"] = (
+        estimates_sent / num_nodes if num_nodes else 0.0
+    )
+    stats.extra["num_hosts"] = workers
+    stats.extra["cut_edges"] = sharded.cut_edges
+    stats.extra["workers"] = workers
+    stats.extra["start_method"] = engine.start_method
+    stats.extra["pipe_bytes_total"] = engine.pipe_bytes_total
+    stats.extra["pipe_bytes_per_round"] = list(engine.pipe_bytes_per_round)
+    stats.extra["shard_payload_bytes"] = list(engine.shard_payload_bytes)
+    _export_recovery_extra(stats, engine)
+    return DecompositionResult(
+        coreness=engine.coreness(),
+        stats=stats,
+        algorithm=cfg["algorithm"],
     )

@@ -52,6 +52,30 @@ class ConfigurationError(ReproError):
     """Invalid run configuration (bad host count, unknown policy...)."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, found, or restored."""
+
+
+class CheckpointFormatError(CheckpointError):
+    """A checkpoint's on-disk format version does not match this code.
+
+    Raised in both skew directions — a checkpoint written by a newer
+    library than the one loading it, and one written by an older library
+    whose format this code no longer reads. Either way the state cannot
+    be trusted, so loading fails loudly instead of guessing.
+    """
+
+
+class FleetTimeoutError(SimulationError, TimeoutError):
+    """The mp coordinator's failure detector fired.
+
+    A worker sent no barrier reply within the reply timeout (dead,
+    wedged on a lost message, or legitimately slower than the
+    configured/derived timeout). The message names the stuck round and
+    the wall-clock time the last barrier completed.
+    """
+
+
 class ConvergenceError(SimulationError):
     """A run hit its round limit before reaching a terminal state."""
 

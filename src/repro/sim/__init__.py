@@ -30,6 +30,8 @@ provides:
 from repro.sim.node import Context, Process
 from repro.sim.engine import RoundEngine
 from repro.sim.async_engine import AsyncEngine
+from repro.sim.checkpoint import CheckpointPolicy
+from repro.sim.faults import Fault, FaultPlan
 from repro.sim.flat_engine import FlatOneToOneEngine, FlatPeerSimEngine
 from repro.sim.flat_many_engine import FlatOneToManyEngine
 from repro.sim.metrics import SimulationStats
@@ -39,6 +41,9 @@ __all__ = [
     "Context",
     "RoundEngine",
     "AsyncEngine",
+    "CheckpointPolicy",
+    "Fault",
+    "FaultPlan",
     "FlatOneToOneEngine",
     "FlatOneToManyEngine",
     "FlatPeerSimEngine",

@@ -1,0 +1,235 @@
+"""Deterministic fault injection for the multi-process engine.
+
+Recovery code that is only exercised by real hardware failures is
+recovery code that has never run. This module lets a test (or a
+benchmark) script the failures instead: a :class:`FaultPlan` is a list
+of :class:`Fault` specs — *kill worker w at round r*, *drop one batch*,
+*delay one batch*, *run slow once* — that
+:class:`~repro.sim.mp_engine.MultiProcessOneToManyEngine` threads into
+each worker's command loop. Every fault fires at a fixed, well-defined
+point of the lockstep protocol, so the recovery paths run
+deterministically in CI rather than hoped-for in production.
+
+The four kinds, and what each one exercises:
+
+``kill``
+    The worker calls ``os._exit`` during round ``round`` — either on
+    receiving the round command, before touching its mail
+    (``when="start"``), or after it has folded, cascaded and emitted
+    its outgoing batches but before reporting (``when="after_emit"``,
+    the partial-progress case: other workers already hold this round's
+    output, so recovery must deduplicate the replayed re-sends).
+    Detected by the coordinator as a closed control pipe; recovered by
+    respawn + replay.
+
+``drop_batch``
+    The batch this worker emits *during* round ``round`` toward worker
+    ``dest`` is silently never enqueued (it still enters the sender's
+    resend buffer — the fault models a lossy transport, not a buggy
+    sender). The receiver blocks waiting for mail that never comes,
+    the coordinator's reply timeout fires, and recovery replays the
+    buffered batch — the lost-message path.
+
+``delay_batch``
+    Same addressing, but the enqueue happens after ``seconds`` of
+    sleep. The round-tagged mailbox protocol must absorb this without
+    any recovery (a slow channel is not a failure).
+
+``slow``
+    The worker sleeps ``seconds`` before reporting at round ``round``.
+    Below the reply timeout nothing may happen; above it the failure
+    detector must treat the straggler as wedged and recover it.
+
+Kill points sit *between* queue operations, never inside one: a POSIX
+kill inside ``Queue.put`` could corrupt the queue's shared lock, which
+is a documented out-of-scope failure (see docs/architecture.md,
+"Failure model and recovery").
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Fault", "FaultPlan", "WorkerFaults", "KILL_EXIT_CODE"]
+
+_KINDS = ("kill", "drop_batch", "delay_batch", "slow")
+_KILL_WHEN = ("start", "after_emit")
+
+#: Exit status a fault-injected kill reports — distinct from 0 (clean)
+#: and 1 (Python exception) so a recovery test can tell an injected
+#: crash from an accidental one.
+KILL_EXIT_CODE = 43
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted failure (see the module docstring for semantics).
+
+    Build via the classmethods — they validate per-kind fields so a
+    malformed plan fails at construction, in the parent process, not
+    as a hang inside a worker.
+    """
+
+    kind: str
+    worker: int
+    round: int
+    when: str = "start"
+    dest: int | None = None
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; options: {list(_KINDS)}"
+            )
+        if self.worker < 0:
+            raise ConfigurationError(
+                f"fault worker must be >= 0, got {self.worker}"
+            )
+        if self.round < 1:
+            raise ConfigurationError(
+                f"fault round must be >= 1 (rounds are 1-based), "
+                f"got {self.round}"
+            )
+        if self.kind == "kill" and self.when not in _KILL_WHEN:
+            raise ConfigurationError(
+                f"unknown kill point {self.when!r}; "
+                f"options: {list(_KILL_WHEN)}"
+            )
+        if self.kind in ("drop_batch", "delay_batch"):
+            if self.dest is None or self.dest < 0:
+                raise ConfigurationError(
+                    f"{self.kind} needs a destination worker, "
+                    f"got dest={self.dest!r}"
+                )
+            if self.dest == self.worker:
+                raise ConfigurationError(
+                    "a shard never sends to itself; "
+                    f"dest={self.dest} == worker={self.worker}"
+                )
+        if self.kind in ("delay_batch", "slow") and self.seconds <= 0:
+            raise ConfigurationError(
+                f"{self.kind} needs seconds > 0, got {self.seconds!r}"
+            )
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def kill(cls, worker: int, round: int, when: str = "start") -> "Fault":
+        """Kill ``worker`` during round ``round`` at ``when``."""
+        return cls(kind="kill", worker=worker, round=round, when=when)
+
+    @classmethod
+    def drop_batch(cls, worker: int, round: int, dest: int) -> "Fault":
+        """Lose the batch ``worker`` emits to ``dest`` in round ``round``."""
+        return cls(kind="drop_batch", worker=worker, round=round, dest=dest)
+
+    @classmethod
+    def delay_batch(
+        cls, worker: int, round: int, dest: int, seconds: float
+    ) -> "Fault":
+        """Deliver that batch only after ``seconds`` of transport delay."""
+        return cls(
+            kind="delay_batch", worker=worker, round=round, dest=dest,
+            seconds=seconds,
+        )
+
+    @classmethod
+    def slow(cls, worker: int, round: int, seconds: float) -> "Fault":
+        """Stall ``worker`` for ``seconds`` before its round report."""
+        return cls(kind="slow", worker=worker, round=round, seconds=seconds)
+
+
+class FaultPlan:
+    """An immutable, picklable collection of :class:`Fault` specs.
+
+    The engine validates the plan against the fleet (worker/dest ids in
+    range) before spawning, slices it per worker
+    (:meth:`for_worker` — each process only ships its own faults), and
+    each worker consults its slice at the scripted protocol points.
+    Every fault fires at most once.
+    """
+
+    def __init__(self, faults: Sequence[Fault] = ()) -> None:
+        for fault in faults:
+            if not isinstance(fault, Fault):
+                raise ConfigurationError(
+                    f"FaultPlan takes Fault instances, got {fault!r}"
+                )
+        self.faults: tuple[Fault, ...] = tuple(faults)
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({list(self.faults)!r})"
+
+    def validate_for(self, num_workers: int) -> None:
+        """Reject faults addressing workers outside ``0..num_workers-1``."""
+        for fault in self.faults:
+            for role, w in (("worker", fault.worker), ("dest", fault.dest)):
+                if w is not None and w >= num_workers:
+                    raise ConfigurationError(
+                        f"fault {role} {w} is out of range for a fleet of "
+                        f"{num_workers} workers"
+                    )
+
+    def kills(self) -> list[Fault]:
+        """The kill faults, in round order (used by coordinators/tests)."""
+        return sorted(
+            (f for f in self.faults if f.kind == "kill"),
+            key=lambda f: f.round,
+        )
+
+    def for_worker(self, worker: int) -> "WorkerFaults | None":
+        """This worker's slice of the plan (``None`` when it has none)."""
+        mine = [f for f in self.faults if f.worker == worker]
+        return WorkerFaults(mine) if mine else None
+
+
+class WorkerFaults:
+    """One worker's faults, consulted inside the worker loop.
+
+    Each query consumes the matching fault (fire-at-most-once); the
+    object is small and pickles with the worker spawn args. A respawned
+    replacement worker is shipped *no* faults — a recovered worker does
+    not re-crash on replay, matching the crash-stop model.
+    """
+
+    def __init__(self, faults: Sequence[Fault]) -> None:
+        self._pending: list[Fault] = list(faults)
+
+    def _take(self, **match: object) -> Fault | None:
+        for i, fault in enumerate(self._pending):
+            if all(getattr(fault, k) == v for k, v in match.items()):
+                return self._pending.pop(i)
+        return None
+
+    def kill_now(self, round: int, when: str) -> bool:
+        """Should this worker die at this point? (``os._exit`` follows.)"""
+        return self._take(kind="kill", round=round, when=when) is not None
+
+    def on_transport(self, round: int, dest: int) -> str | None:
+        """Transport fault for the batch emitted in ``round`` to ``dest``.
+
+        Returns ``"drop"`` (skip the enqueue), or ``None`` after
+        serving any scripted delay inline.
+        """
+        if self._take(kind="drop_batch", round=round, dest=dest) is not None:
+            return "drop"
+        delayed = self._take(kind="delay_batch", round=round, dest=dest)
+        if delayed is not None:
+            _time.sleep(delayed.seconds)
+        return None
+
+    def stall_before_report(self, round: int) -> None:
+        """Serve a scripted ``slow`` stall before the round report."""
+        fault = self._take(kind="slow", round=round)
+        if fault is not None:
+            _time.sleep(fault.seconds)

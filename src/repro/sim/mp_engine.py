@@ -56,6 +56,46 @@ sequential schedule that one-process-per-host cannot replay in
 parallel. Use the in-process :class:`FlatOneToManyEngine` for peersim
 runs.
 
+**Fault tolerance.** The protocol is self-stabilizing per host —
+estimates only decrease, and any host can recompute its state from its
+shard plus its neighbours' estimate stream — which makes recovery a
+*replay* problem rather than a consensus problem. Three mechanisms
+build on that (all off unless configured; see
+``docs/architecture.md``, "Failure model and recovery"):
+
+* **checkpointing** (:class:`~repro.sim.checkpoint.CheckpointPolicy`):
+  at the barrier after every k-th round each worker snapshots its
+  kernel state and round-tagged mailbox backlog (the expected next
+  round's mail is drained into the snapshot first, so nothing lives
+  only inside a queue) and the coordinator commits an atomic,
+  checksummed manifest — either a complete checkpoint exists or none
+  does;
+* **single-worker recovery**: when the failure detector spots a lost
+  worker (closed control pipe, nonzero exitcode, or a reply timeout —
+  dead and wedged look the same from the barrier), the coordinator
+  re-spawns it from the last checkpoint (round 0 = a fresh shard when
+  none exists yet), has the survivors re-put the missed estimate
+  batches from their per-recipient **resend buffers** (bounded: pruned
+  at every checkpoint), lets the replacement deterministically replay
+  the missed rounds with transmission suppressed, then re-executes the
+  stuck round for real and resumes the lockstep barrier. Receivers
+  deduplicate by ``(round, sender)`` — at most one batch per sender
+  per round under every policy — so replayed re-sends are harmless.
+  The recovered run is bit-identical to a fault-free one;
+* **whole-fleet resume**
+  (:func:`repro.core.one_to_many_mp.resume_from_checkpoint`): after a
+  coordinator death, a new coordinator restores every worker from the
+  checkpoint directory and continues the loop — the snapshot's drained
+  mailbox backlog is exactly the in-flight state a restart needs.
+
+Failures are injected deterministically through
+:class:`~repro.sim.faults.FaultPlan` so every recovery path above runs
+in CI. Out of scope (detected, reported loudly, not recovered
+in-flight): two workers lost at the *same* barrier, a loss during the
+checkpoint or result-gathering barriers, and a worker that dies midway
+through a queue ``put`` holding the queue lock — use
+``resume_from_checkpoint`` for those.
+
 **When is it selected?** ``run_one_to_many(engine="mp")`` routes here
 via :mod:`repro.core.one_to_many_mp`; ``decompose("one-to-many-mp")``
 and the CLI's ``--engine mp --workers N`` are the one-call forms. For
@@ -69,17 +109,30 @@ process fan-out.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os as _os
 import pickle
 import time as _time
 import traceback
 from array import array
+from datetime import datetime
+from queue import Empty
 
-from repro.errors import ConfigurationError, ConvergenceError
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    FleetTimeoutError,
+)
 from repro.graph.sharded import HostShard, ShardedCSR
+from repro.sim.checkpoint import CheckpointPolicy, CheckpointWriter
+from repro.sim.faults import KILL_EXIT_CODE, FaultPlan, WorkerFaults
 from repro.sim.kernels import export_send_counts, resolve_backend
 from repro.sim.metrics import SimulationStats
 
-__all__ = ["MultiProcessOneToManyEngine", "START_METHODS"]
+__all__ = [
+    "MultiProcessOneToManyEngine",
+    "START_METHODS",
+    "default_reply_timeout",
+]
 
 #: Start methods the engine accepts; ``"spawn"`` is the default — it is
 #: the only method available on every platform and the one a real
@@ -93,6 +146,35 @@ _INIT = 0  # run round 1 (Algorithm 3 on_init), emit initial batches
 _STEP = 1  # run one activation round: fold expected mail, cascade, emit
 _FINISH = 2  # report final per-shard results
 _EXIT = 3  # leave the command loop
+_CHECKPOINT = 4  # drain next-round mail into the backlog, snapshot state
+_RESEND = 5  # re-put buffered payloads for one recipient (recovery)
+_REPLAY = 6  # deterministically re-execute missed rounds (recovery)
+
+
+def default_reply_timeout(num_nodes: int, workers: int) -> float:
+    """Round-aware failure-detector default, in seconds.
+
+    A barrier reply is late only relative to how much per-round work a
+    worker legitimately has, which scales with its owned-node count —
+    a flat constant either hangs small runs for minutes or kills big
+    ones mid-fold. 60 s of floor (spawn + import on a loaded CI box)
+    plus 2 ms per owned node per worker: ~70 s at 20k/4 workers, ~560 s
+    at 1M/4.
+    """
+    nodes_per_worker = num_nodes / max(1, workers)
+    return 60.0 + 0.002 * nodes_per_worker
+
+
+class _WorkerLost(Exception):
+    """Internal: the failure detector flagged one worker at a barrier."""
+
+    def __init__(self, worker: int, reason: str, wedged: bool) -> None:
+        super().__init__(reason)
+        self.worker = worker
+        self.reason = reason
+        #: True when the process was still alive (stalled / lost a
+        #: message) — it missed the reply timeout rather than dying.
+        self.wedged = wedged
 
 
 class _ShardWorker:
@@ -116,6 +198,8 @@ class _ShardWorker:
         backend: str,
         infinity: int,
         inboxes,
+        resilient: bool = False,
+        faults: "WorkerFaults | None" = None,
     ) -> None:
         kb = resolve_backend(backend)
         self.kb = kb
@@ -138,11 +222,79 @@ class _ShardWorker:
         self.infinity = infinity
         self.estimates_sent = 0
         self.host_counts = array("q", [0]) * num_hosts  # p2p scratch
+        self.resilient = resilient
+        self.faults = faults
+        #: batches that arrived early, keyed by their delivery round
+        self.held: dict[int, list] = {}
+        #: rounds whose mail is already folded — late duplicates of a
+        #: folded round (stale queue content + recovery re-sends) are
+        #: discarded on receipt
+        self.folded_through = 0
+        #: per-recipient resend buffer: ``{dest: [(deliver_round,
+        #: payload), ...]}``, kept only when ``resilient`` and pruned at
+        #: every checkpoint — the replay window a recovery can need
+        self.resend: dict[int, list] = {}
+
+    def _inbox_get(self, inbox) -> bytes:
+        """Receive one payload from this worker's inbox.
+
+        With recovery enabled the wait is a non-blocking poll loop
+        instead of a blocking ``get()``: a blocked ``get`` holds the
+        queue's reader lock for its whole wait, so terminating a wedged
+        worker there would poison the lock for its replacement (which
+        reuses the queue). Polling holds the lock only for microseconds
+        per probe, so the coordinator's ``terminate()`` lands in the
+        sleep with overwhelming probability; the residual window is the
+        documented out-of-scope kill-inside-a-queue-operation case.
+        """
+        if not self.resilient:
+            return inbox.get()
+        while True:
+            try:
+                return inbox.get_nowait()
+            except Empty:
+                _time.sleep(0.001)
+
+    # ------------------------------------------------------------------
+    # state snapshot / restore (checkpointing + worker recovery)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> bytes:
+        """Barrier-point state: tables, Figure-5 counter, mail backlog.
+
+        Called only between rounds, where the cascade scratch
+        (``queued`` / ``changed_*``) is empty by invariant and the
+        resend buffers have just been pruned — so estimate/support
+        tables, the overhead counter, the fold watermark and the held
+        mailbox backlog are the *whole* state.
+        """
+        return pickle.dumps(
+            (
+                self.folded_through,
+                self.est,
+                self.sup,
+                self.estimates_sent,
+                self.held,
+            ),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    def restore(self, blob: bytes) -> None:
+        """Adopt a :meth:`snapshot` (same backend, per the manifest)."""
+        (
+            self.folded_through,
+            self.est,
+            self.sup,
+            self.estimates_sent,
+            self.held,
+        ) = pickle.loads(blob)
 
     # -- transmit (Algorithm 3's S / Algorithm 5's per-host subsets),
     # identical accounting to FlatOneToManyEngine.emit; returns
-    # (messages sent, {dest: 1}, serialized bytes) for the round report
-    def _emit(self, deliver_round: int, updates: list) -> tuple:
+    # (messages sent, {dest: 1}, serialized bytes) for the round report.
+    # ``transport=False`` (recovery replay) keeps every counter and the
+    # resend buffer exact but skips the physical queue puts — the
+    # live fleet already received these batches.
+    def _emit(self, deliver_round: int, updates: list, transport: bool = True) -> tuple:
         shard = self.shard
         neighbor_hosts = shard.neighbor_hosts
         if not updates or not neighbor_hosts:
@@ -207,18 +359,36 @@ class _ShardWorker:
         per_dest: dict[int, int] = {}
         nbytes = 0
         inboxes = self.inboxes
+        faults = self.faults
         for y in dests:
             payload = pickle.dumps(
                 (deliver_round, x, out_slots.get(y, ()), out_vals.get(y, ())),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
             nbytes += len(payload)
-            inboxes[y].put(payload)
+            if self.resilient:
+                self.resend.setdefault(y, []).append((deliver_round, payload))
+            if transport:
+                # the emitting round is deliver_round - 1 (lockstep)
+                if (
+                    faults is None
+                    or faults.on_transport(deliver_round - 1, y) != "drop"
+                ):
+                    inboxes[y].put(payload)
             per_dest[y] = 1
         return len(dests), per_dest, nbytes
 
+    def prune_resend(self, through_round: int) -> None:
+        """Drop buffered payloads a post-checkpoint replay cannot need."""
+        for y, buffered in list(self.resend.items()):
+            kept = [item for item in buffered if item[0] > through_round]
+            if kept:
+                self.resend[y] = kept
+            else:
+                del self.resend[y]
+
     # -- Algorithm 3 initialisation: degrees in, cascade, full send
-    def on_init(self, deliver_round: int) -> tuple:
+    def on_init(self, deliver_round: int, transport: bool = True) -> tuple:
         shard = self.shard
         est = self.est
         n_owned = shard.n_owned
@@ -234,7 +404,8 @@ class _ShardWorker:
             )
         # the initial message carries *all* owned estimates
         report = self._emit(
-            deliver_round, [(u, int(est[u])) for u in range(n_owned)]
+            deliver_round, [(u, int(est[u])) for u in range(n_owned)],
+            transport=transport,
         )
         flags = self.changed_flag
         for u in self.changed_list:
@@ -243,7 +414,9 @@ class _ShardWorker:
         return report
 
     # -- one activation: fold the round's mail, cascade, transmit
-    def activate(self, deliver_round: int, batches: list) -> tuple:
+    def activate(
+        self, deliver_round: int, batches: list, transport: bool = True
+    ) -> tuple:
         shard = self.shard
         est = self.est
         n_owned = shard.n_owned
@@ -269,18 +442,94 @@ class _ShardWorker:
         clist = self.changed_list
         if not clist:
             return 0, {}, 0
-        report = self._emit(deliver_round, [(u, int(est[u])) for u in clist])
+        report = self._emit(
+            deliver_round, [(u, int(est[u])) for u in clist],
+            transport=transport,
+        )
         flags = self.changed_flag
         for u in clist:
             flags[u] = 0
         clist.clear()
         return report
 
+    # ------------------------------------------------------------------
+    # receive path: round-tagged, held-back, deduplicated
+    # ------------------------------------------------------------------
+    def pull(self, inbox, rnd: int, expect: int) -> list:
+        """Collect the ``expect`` distinct round-``rnd`` batches.
+
+        Early mail for later rounds is held back; mail for rounds
+        already folded (stale queue content from before a worker died,
+        or a recovery re-send the backlog already covered) is
+        discarded; and within a round at most one batch per sender is
+        kept — the dedup that makes recovery re-sends idempotent.
+        """
+        held = self.held
+        batches = held.pop(rnd, [])
+        while len(batches) < expect:
+            msg = pickle.loads(self._inbox_get(inbox))
+            r = msg[0]
+            if r <= self.folded_through:
+                continue  # duplicate of mail this state already folded
+            bucket = batches if r == rnd else held.setdefault(r, [])
+            sender = msg[1]
+            if any(b[1] == sender for b in bucket):
+                continue  # duplicate within the round (recovery re-send)
+            bucket.append(msg)
+        self.folded_through = rnd
+        return batches
+
+    def absorb(self, inbox, rnd: int, expect: int) -> None:
+        """Drain the ``expect`` round-``rnd`` batches into the backlog.
+
+        The checkpoint barrier uses this so a snapshot carries every
+        in-flight batch — afterwards the queues are empty and the
+        snapshot is self-contained.
+        """
+        held = self.held
+        bucket = held.setdefault(rnd, [])
+        while len(bucket) < expect:
+            msg = pickle.loads(self._inbox_get(inbox))
+            r = msg[0]
+            if r <= self.folded_through:
+                continue
+            dest = bucket if r == rnd else held.setdefault(r, [])
+            sender = msg[1]
+            if any(b[1] == sender for b in dest):
+                continue
+            dest.append(msg)
+        if not bucket:
+            del held[rnd]
+
     def result(self) -> tuple:
         """Final per-shard payload: owned estimates + Figure-5 count."""
         est = self.est
         owned = [int(est[u]) for u in range(self.shard.n_owned)]
         return owned, self.estimates_sent
+
+
+def _die(inboxes, host: int) -> None:
+    """Serve a scripted kill: flush our outbound queues, then exit hard.
+
+    ``Queue.put`` only buffers; a background feeder thread does the
+    actual pipe write. ``os._exit`` straight after a put could therefore
+    kill the feeder mid-write — losing batches the protocol already
+    counted as sent and, worse, poisoning the destination queue's
+    writer lock for every other sender. Closing + joining each queue
+    handle flushes and retires this process's feeders first, which
+    models the intended failure ("the host sent its messages, then
+    crashed") instead of a corrupted-transport one, which is documented
+    as out of scope.
+    """
+    for y, q in enumerate(inboxes):
+        if y == host:
+            continue
+        try:
+            q.close()
+            q.join_thread()
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass
+    _os._exit(KILL_EXIT_CODE)
 
 
 def _worker_main(
@@ -294,13 +543,20 @@ def _worker_main(
     conn,
     inbox,
     inboxes,
+    resilient: bool,
+    faults_blob: "bytes | None",
+    restore_blob: "bytes | None",
 ) -> None:
     """Worker process entry point (module-level: spawn-picklable).
 
     ``shard_blob`` is the coordinator's pickled :class:`HostShard` —
     shipped as bytes so the one serialization pass also yields the
     ``shard_payload_bytes`` metric (re-pickling a ``bytes`` payload for
-    process startup costs only a memcpy).
+    process startup costs only a memcpy). ``restore_blob`` (respawned
+    replacements and whole-fleet resumes) is a prior
+    :meth:`_ShardWorker.snapshot` to adopt before the command loop;
+    ``faults_blob`` is this worker's slice of a
+    :class:`~repro.sim.faults.FaultPlan`.
 
     Runs the command loop: fold/cascade/emit on ``_STEP``, holding back
     early-arriving batches tagged for a later round. Any exception is
@@ -308,28 +564,65 @@ def _worker_main(
     coordinator can fail loudly instead of hanging.
     """
     try:
+        faults = pickle.loads(faults_blob) if faults_blob else None
         worker = _ShardWorker(
             host, pickle.loads(shard_blob), num_hosts, communication,
             p2p_filter, backend, infinity, inboxes,
+            resilient=resilient, faults=faults,
         )
-        held: dict[int, list] = {}
+        if restore_blob is not None:
+            worker.restore(restore_blob)
         while True:
             cmd = conn.recv()
             op = cmd[0]
             if op == _INIT:
-                sent, per_dest, nbytes = worker.on_init(cmd[1])
-                conn.send(("done", sent, per_dest, nbytes))
+                if faults and faults.kill_now(1, "start"):
+                    _die(inboxes, host)
+                report = worker.on_init(cmd[1])
+                if faults and faults.kill_now(1, "after_emit"):
+                    _die(inboxes, host)
+                if faults:
+                    faults.stall_before_report(1)
+                conn.send(("done",) + report)
             elif op == _STEP:
                 rnd, expect = cmd[1], cmd[2]
-                batches = held.pop(rnd, [])
-                while len(batches) < expect:
-                    msg = pickle.loads(inbox.get())
-                    if msg[0] == rnd:
-                        batches.append(msg)
-                    else:  # a fast neighbour already sent next-round mail
-                        held.setdefault(msg[0], []).append(msg)
-                sent, per_dest, nbytes = worker.activate(rnd + 1, batches)
-                conn.send(("done", sent, per_dest, nbytes))
+                if faults and faults.kill_now(rnd, "start"):
+                    _die(inboxes, host)
+                batches = worker.pull(inbox, rnd, expect)
+                report = worker.activate(rnd + 1, batches)
+                if faults and faults.kill_now(rnd, "after_emit"):
+                    _die(inboxes, host)
+                if faults:
+                    faults.stall_before_report(rnd)
+                conn.send(("done",) + report)
+            elif op == _CHECKPOINT:
+                rnd, expect = cmd[1], cmd[2]
+                worker.absorb(inbox, rnd + 1, expect)
+                worker.prune_resend(rnd)
+                conn.send(("ckpt", worker.snapshot()))
+            elif op == _RESEND:
+                dest, from_round = cmd[1], cmd[2]
+                count = 0
+                nbytes = 0
+                for deliver_round, payload in worker.resend.get(dest, ()):
+                    if deliver_round > from_round:
+                        inboxes[dest].put(payload)
+                        count += 1
+                        nbytes += len(payload)
+                conn.send(("resent", count, nbytes))
+            elif op == _REPLAY:
+                # deterministic catch-up of a respawned replacement:
+                # re-execute the missed rounds with transmission
+                # suppressed (the live fleet already has these batches;
+                # emitting only rebuilds counters + the resend buffer)
+                for rnd, expect in cmd[1]:
+                    if rnd == 1:
+                        worker.on_init(2, transport=False)
+                        worker.folded_through = max(worker.folded_through, 1)
+                    else:
+                        batches = worker.pull(inbox, rnd, expect)
+                        worker.activate(rnd + 1, batches, transport=False)
+                conn.send(("replayed",))
             elif op == _FINISH:
                 conn.send(("result",) + worker.result())
             elif op == _EXIT:
@@ -368,14 +661,29 @@ class MultiProcessOneToManyEngine:
         ``multiprocessing`` start method (default ``"spawn"``).
     reply_timeout:
         Seconds the coordinator waits for any single worker round
-        report before declaring the fleet wedged (a real barrier needs
-        a failure detector). ``None`` means 300 — generous for CI
-        boxes; raise it (``OneToManyConfig.mp_reply_timeout``) when a
-        single round's fold/cascade legitimately takes longer.
+        report before the failure detector fires. ``None`` derives a
+        round-aware default from the per-worker load
+        (:func:`default_reply_timeout`); raise it
+        (``OneToManyConfig.mp_reply_timeout``) when a single round's
+        fold/cascade legitimately takes longer.
+    checkpoint:
+        A :class:`~repro.sim.checkpoint.CheckpointPolicy`, or ``None``
+        (no snapshots). Enables recovery.
+    fault_plan:
+        A :class:`~repro.sim.faults.FaultPlan` of scripted failures for
+        tests/benchmarks, or ``None``. Enables recovery.
+    recover:
+        Force the recovery machinery (resend buffers, respawn + replay)
+        on or off; ``None`` (default) enables it exactly when
+        ``checkpoint`` or ``fault_plan`` is set. With recovery off, a
+        lost worker aborts the run loudly (fleet reaped, queues
+        drained).
 
     After :meth:`run`: :meth:`coreness`, :attr:`estimates_sent` (per
     host), :attr:`pipe_bytes_per_round` / :attr:`pipe_bytes_total` (the
-    serialized host-to-host traffic; control-plane chatter excluded).
+    serialized host-to-host traffic; control-plane chatter excluded),
+    :attr:`recoveries` (one event dict per recovered worker) and
+    :attr:`checkpoint_bytes` (total snapshot bytes committed).
     """
 
     def __init__(
@@ -390,6 +698,9 @@ class MultiProcessOneToManyEngine:
         backend: str = "stdlib",
         start_method: str = "spawn",
         reply_timeout: "float | None" = None,
+        checkpoint: "CheckpointPolicy | None" = None,
+        fault_plan: "FaultPlan | None" = None,
+        recover: "bool | None" = None,
     ) -> None:
         if communication not in ("broadcast", "p2p"):
             raise ConfigurationError(
@@ -417,6 +728,20 @@ class MultiProcessOneToManyEngine:
                 f"unknown start method {start_method!r}; "
                 f"options: {list(START_METHODS)}"
             )
+        if checkpoint is not None and not isinstance(
+            checkpoint, CheckpointPolicy
+        ):
+            raise ConfigurationError(
+                "checkpoint must be a repro.sim.checkpoint."
+                f"CheckpointPolicy (or None), got {checkpoint!r}"
+            )
+        if fault_plan is not None:
+            if not isinstance(fault_plan, FaultPlan):
+                raise ConfigurationError(
+                    "fault_plan must be a repro.sim.faults.FaultPlan "
+                    f"(or None), got {fault_plan!r}"
+                )
+            fault_plan.validate_for(sharded.num_hosts)
         # resolve eagerly so an unknown name / missing numpy fails in
         # the parent, before any process is spawned; workers re-resolve
         # by name
@@ -433,7 +758,21 @@ class MultiProcessOneToManyEngine:
             raise ConfigurationError(
                 f"reply_timeout must be positive, got {reply_timeout!r}"
             )
-        self.reply_timeout = 300.0 if reply_timeout is None else reply_timeout
+        self.reply_timeout = (
+            default_reply_timeout(sharded.csr.num_nodes, sharded.num_hosts)
+            if reply_timeout is None
+            else reply_timeout
+        )
+        self.checkpoint = checkpoint
+        self.fault_plan = fault_plan
+        self.resilient = (
+            recover
+            if recover is not None
+            else (checkpoint is not None or fault_plan is not None)
+        )
+        #: Extra manifest fields the runner wants persisted (e.g. the
+        #: algorithm label a resume should report).
+        self.checkpoint_meta: dict = {}
         self.stats = SimulationStats()
         #: Figure-5 overhead numerator per host (filled by :meth:`run`).
         self.estimates_sent: array = array("q")
@@ -444,7 +783,28 @@ class MultiProcessOneToManyEngine:
         #: serialization actually shipped) — the cost the config-layer
         #: guard warns about.
         self.shard_payload_bytes: list[int] = []
+        #: One dict per recovered worker: worker, round, the checkpoint
+        #: round it restored from, replayed round count, resent bytes,
+        #: and the recovery's wall-clock seconds.
+        self.recoveries: list[dict] = []
+        #: Total snapshot bytes committed to the checkpoint directory.
+        self.checkpoint_bytes: int = 0
+        #: Set on resumed runs: the checkpointed round execution
+        #: restarted from (``None`` for fresh runs).
+        self.resumed_from_round: "int | None" = None
         self._owned_est: list[list[int]] = []
+        self._resume = None  # Checkpoint adopted by run() (resume path)
+        # in-memory copy of the newest checkpoint: restore source for
+        # in-run worker recovery (round 0 == fresh shard, no snapshot)
+        self._ckpt_round = 0
+        self._ckpt_blobs: "list[bytes] | None" = None
+        # expect counts per dispatched round since the last checkpoint —
+        # exactly what a replacement needs to replay deterministically
+        self._expect_hist: dict[int, list[int]] = {}
+        self._last_barrier_ts = _time.time()
+        #: Every process the engine ever spawned (including replaced
+        #: workers) — all are reaped by shutdown; tests assert on it.
+        self._all_procs: list = []
 
     # ------------------------------------------------------------------
     def coreness(self) -> dict[int, int]:
@@ -462,49 +822,297 @@ class MultiProcessOneToManyEngine:
         return sum(self.estimates_sent)
 
     # ------------------------------------------------------------------
-    def _recv(self, x: int) -> tuple:
-        """One worker reply, with a failure detector instead of a hang."""
+    def _spawn_worker(
+        self, x: int, restore_blob: "bytes | None", with_faults: bool
+    ) -> None:
+        """(Re)spawn worker ``x``; fills ``_conns[x]`` / ``_procs[x]``."""
+        shard = self.sharded.shards[x]
+        blob = pickle.dumps(shard, protocol=pickle.HIGHEST_PROTOCOL)
+        if x == len(self.shard_payload_bytes):
+            self.shard_payload_bytes.append(len(blob))
+        faults_blob = None
+        if with_faults and self.fault_plan is not None:
+            mine = self.fault_plan.for_worker(x)
+            if mine is not None:
+                faults_blob = pickle.dumps(
+                    mine, protocol=pickle.HIGHEST_PROTOCOL
+                )
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                x, blob, self.sharded.num_hosts, self.communication,
+                self.p2p_filter, self.backend_name, self._infinity,
+                child_conn, self._inboxes[x], self._inboxes,
+                self.resilient, faults_blob, restore_blob,
+            ),
+            daemon=True,
+            name=f"kcore-shard-{x}",
+        )
+        if x == len(self._conns):
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        else:
+            self._conns[x] = parent_conn
+            self._procs[x] = proc
+        proc.start()
+        self._all_procs.append(proc)
+        child_conn.close()
+
+    # ------------------------------------------------------------------
+    def _recv(self, x: int, rnd: int, timeout: "float | None" = None) -> tuple:
+        """One worker reply, with a failure detector instead of a hang.
+
+        Raises :class:`_WorkerLost` when the worker is dead (closed
+        pipe / nonzero exitcode) or wedged (alive but silent past the
+        reply timeout); the barrier decides whether that means recovery
+        or a loud abort. A worker-reported exception (an actual bug,
+        not a process failure) raises ``RuntimeError`` directly — replay
+        would only crash again.
+        """
         conn = self._conns[x]
-        if not conn.poll(self.reply_timeout):
-            raise RuntimeError(
-                f"mp worker {x} sent no reply within "
-                f"{self.reply_timeout:.0f}s (exitcode="
-                f"{self._procs[x].exitcode}); the shard fleet is wedged"
+        wait = self.reply_timeout if timeout is None else timeout
+        if not conn.poll(wait):
+            proc = self._procs[x]
+            alive = proc.is_alive()
+            raise _WorkerLost(
+                x,
+                f"mp worker {x} sent no reply within {wait:.0f}s at round "
+                f"{rnd} (alive={alive}, exitcode={proc.exitcode})",
+                wedged=alive,
             )
         try:
             reply = conn.recv()
         except EOFError:
-            raise RuntimeError(
-                f"mp worker {x} died without a reply (exitcode="
-                f"{self._procs[x].exitcode})"
+            # the pipe can hit EOF before the OS exit status is
+            # reapable; give the join a moment so the reason is useful
+            self._procs[x].join(timeout=5.0)
+            raise _WorkerLost(
+                x,
+                f"mp worker {x} died without a reply at round {rnd} "
+                f"(exitcode={self._procs[x].exitcode})",
+                wedged=False,
             ) from None
         if reply[0] == "error":
-            raise RuntimeError(
-                f"mp worker {x} failed:\n{reply[1]}"
-            )
+            raise RuntimeError(f"mp worker {x} failed:\n{reply[1]}")
         return reply
 
+    def _raise_lost(self, lost: "list[_WorkerLost]", rnd: int):
+        """Convert detector hits into the loud, documented abort errors.
+
+        The fleet itself is reaped (terminate + join + queue drain) by
+        :meth:`_shutdown` on the way out of :meth:`run` — this method
+        only picks the right exception.
+        """
+        ts = datetime.fromtimestamp(self._last_barrier_ts).isoformat(
+            timespec="seconds"
+        )
+        detail = "; ".join(exc.reason for exc in lost)
+        if len(lost) > 1:
+            why = (
+                "more than one worker was lost at the same barrier (out "
+                "of scope for in-flight recovery — restart via "
+                "resume_from_checkpoint)"
+            )
+        elif not self.resilient:
+            why = (
+                "recovery is disabled for this run, so the resend "
+                "buffers recovery needs were never kept (configure "
+                "OneToManyConfig.checkpoint to enable it)"
+            )
+        else:
+            why = (
+                "the loss happened outside a recoverable round barrier "
+                "(during recovery itself, a checkpoint barrier, or "
+                "result gathering) — restart via resume_from_checkpoint"
+            )
+        suffix = (
+            f" Last barrier completed at {ts}. Recovery was not "
+            f"attempted: {why}."
+        )
+        if any(exc.wedged for exc in lost):
+            raise FleetTimeoutError(
+                f"the shard fleet is wedged at round {rnd}: {detail}."
+                + suffix
+                + " If the workers are merely slow, raise "
+                "mp_reply_timeout."
+            )
+        raise RuntimeError(
+            f"shard worker lost at round {rnd}: {detail}." + suffix
+        )
+
+    # ------------------------------------------------------------------
+    def _recover_worker(self, exc: "_WorkerLost", rnd: int) -> tuple:
+        """Respawn + replay one lost worker; returns its round report.
+
+        See the module docstring for the protocol. Any further loss
+        during recovery propagates as :class:`_WorkerLost` and becomes
+        a loud abort — recovery is not attempted recursively.
+        """
+        t0 = _time.perf_counter()
+        x = exc.worker
+        proc = self._procs[x]
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck in kernel
+                proc.kill()
+                proc.join(timeout=5.0)
+        else:
+            proc.join()
+        try:
+            self._conns[x].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        from_round = self._ckpt_round
+        restore_blob = (
+            self._ckpt_blobs[x] if self._ckpt_blobs is not None else None
+        )
+        # replacements carry no fault plan: a recovered worker does not
+        # re-crash on replay (crash-stop model)
+        self._spawn_worker(x, restore_blob, with_faults=False)
+        # survivors replay the missed estimate batches from their
+        # resend buffers (everything since the last checkpoint)
+        resent_batches = 0
+        resent_bytes = 0
+        survivors = [y for y in range(self.sharded.num_hosts) if y != x]
+        for y in survivors:
+            self._conns[y].send((_RESEND, x, from_round))
+        for y in survivors:
+            _tag, count, nbytes = self._recv(y, rnd)
+            resent_batches += count
+            resent_bytes += nbytes
+        # deterministic catch-up to the stuck round, then re-execute it
+        replay_rounds = [
+            (k, self._expect_hist[k][x]) for k in range(from_round + 1, rnd)
+        ]
+        self._conns[x].send((_REPLAY, replay_rounds))
+        self._recv(x, rnd, timeout=self.reply_timeout * max(1, len(replay_rounds)))
+        if rnd == 1:
+            self._conns[x].send((_INIT, 2))
+        else:
+            self._conns[x].send((_STEP, rnd, self._expect_hist[rnd][x]))
+        report = self._recv(x, rnd)
+        self.recoveries.append(
+            {
+                "worker": x,
+                "round": rnd,
+                "restored_from_round": from_round,
+                "replayed_rounds": len(replay_rounds),
+                "resent_batches": resent_batches,
+                "resent_bytes": resent_bytes,
+                "seconds": _time.perf_counter() - t0,
+                "reason": exc.reason,
+            }
+        )
+        return report
+
+    def _round_barrier(self, rnd: int) -> "dict[int, tuple]":
+        """Collect every worker's round report, recovering a lost one.
+
+        Exactly one loss per barrier is recoverable in-flight; two or
+        more (or any loss with recovery disabled) abort loudly with the
+        whole fleet reaped.
+        """
+        reports: dict[int, tuple] = {}
+        lost: list[_WorkerLost] = []
+        for x in range(self.sharded.num_hosts):
+            try:
+                reports[x] = self._recv(x, rnd)
+            except _WorkerLost as exc:
+                lost.append(exc)
+        if lost:
+            if not self.resilient or len(lost) > 1:
+                self._raise_lost(lost, rnd)
+            reports[lost[0].worker] = self._recover_worker(lost[0], rnd)
+        self._last_barrier_ts = _time.time()
+        return reports
+
+    # ------------------------------------------------------------------
+    def _write_checkpoint(
+        self, rnd, expect, sends, pending, sent_msgs, pipe_bytes
+    ) -> None:
+        """The checkpoint barrier: drain, snapshot, commit atomically."""
+        num_hosts = self.sharded.num_hosts
+        for x in range(num_hosts):
+            self._conns[x].send((_CHECKPOINT, rnd, expect[x]))
+        blobs: list[bytes] = []
+        for x in range(num_hosts):
+            reply = self._recv(x, rnd)
+            blobs.append(reply[1])
+        self._ckpt_round = rnd
+        self._ckpt_blobs = blobs
+        # replay never reaches further back than the checkpoint round
+        for k in [k for k in self._expect_hist if k <= rnd]:
+            del self._expect_hist[k]
+        if self._ckpt_writer is not None:
+            coordinator = {
+                "rnd": rnd,
+                "expect": list(expect),
+                "sends": sends,
+                "pending": pending,
+                "sends_per_round": list(self.stats.sends_per_round),
+                "execution_time": self.stats.execution_time,
+                "sent_msgs": list(sent_msgs),
+                "pipe_bytes_per_round": list(pipe_bytes),
+                "recoveries": list(self.recoveries),
+            }
+            config = {
+                "communication": self.communication,
+                "p2p_filter": self.p2p_filter,
+                "backend": self.backend_name,
+                "num_hosts": num_hosts,
+                "num_nodes": self.sharded.csr.num_nodes,
+                "start_method": self.start_method,
+                "max_rounds": self.max_rounds,
+                "strict": self.strict,
+                "checkpoint_every": self.checkpoint.every_n_rounds,
+                **self.checkpoint_meta,
+            }
+            self.checkpoint_bytes += self._ckpt_writer.commit(
+                rnd, blobs, coordinator, config
+            )
+
     def _shutdown(self, graceful: bool) -> None:
-        # tolerates partial startup: _procs only ever holds *started*
-        # workers, _conns may be one entry longer if Pipe() succeeded
-        # but Process.start() did not
+        """Reap the fleet: every worker joined, every queue drained.
+
+        Tolerates partial startup (``_procs`` only ever holds *started*
+        workers; ``_conns`` may be one entry longer if ``Pipe()``
+        succeeded but ``Process.start()`` did not) and is the single
+        exit path for success, abort and recovery-failure alike — after
+        it returns no child of this engine is alive and no queue feeder
+        thread holds buffered data (the source of semaphore-leak
+        warnings on abort).
+        """
         for x, proc in enumerate(self._procs):
             if graceful and proc.is_alive():
                 try:
                     self._conns[x].send((_EXIT,))
                 except (BrokenPipeError, OSError):
                     pass
-        for proc in self._procs:
+        for proc in self._all_procs:
             proc.join(timeout=5.0 if graceful else 0.5)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck in kernel
+                proc.kill()
+                proc.join(timeout=5.0)
         for conn in self._conns:
-            conn.close()
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         for inbox in self._inboxes:
-            # queues are fully drained by the expect-count protocol;
-            # cancel_join_thread keeps an abort from blocking on the
-            # feeder thread of a queue that still buffers data
+            # drain anything a dead receiver never consumed so the
+            # feeder threads release their buffers, then detach —
+            # cancel_join_thread keeps an abort from blocking on a
+            # feeder that still holds data
+            try:
+                while True:
+                    inbox.get_nowait()
+            except (Empty, OSError, ValueError):
+                pass
             inbox.cancel_join_thread()
             inbox.close()
 
@@ -518,61 +1126,89 @@ class MultiProcessOneToManyEngine:
         stats = self.stats
         sharded = self.sharded
         num_hosts = sharded.num_hosts
-        ctx = mp.get_context(self.start_method)
+        self._ctx = mp.get_context(self.start_method)
+        self._infinity = INFINITY_INT
 
         self._inboxes: list = []
         self._conns = []
         self._procs = []
         self.shard_payload_bytes = []
+        self._ckpt_writer = (
+            CheckpointWriter(self.checkpoint.dir) if self.checkpoint else None
+        )
 
+        resume = self._resume
         sent_msgs = array("q", [0]) * num_hosts
         pipe_bytes = self.pipe_bytes_per_round = []
         all_hosts = range(num_hosts)
+        rnd = 0
         try:
             # -- spawn the fleet (inside the cleanup scope: a failure
             # on worker k must not leak workers 0..k-1). Shards are
             # pickled exactly once — the blob is both the wire payload
             # and the shard_payload_bytes metric.
-            self._inboxes.extend(ctx.Queue() for _ in range(num_hosts))
-            for x, shard in enumerate(sharded.shards):
-                blob = pickle.dumps(shard, protocol=pickle.HIGHEST_PROTOCOL)
-                self.shard_payload_bytes.append(len(blob))
-                parent_conn, child_conn = ctx.Pipe()
-                self._conns.append(parent_conn)
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        x, blob, num_hosts, self.communication,
-                        self.p2p_filter, self.backend_name, INFINITY_INT,
-                        child_conn, self._inboxes[x], self._inboxes,
+            self._inboxes.extend(self._ctx.Queue() for _ in all_hosts)
+            for x in all_hosts:
+                self._spawn_worker(
+                    x,
+                    restore_blob=(
+                        resume.worker_blobs[x] if resume is not None else None
                     ),
-                    daemon=True,
-                    name=f"kcore-shard-{x}",
+                    with_faults=resume is None,
                 )
-                proc.start()
-                self._procs.append(proc)
-                child_conn.close()
+            if self._ckpt_writer is not None:
+                # once per run: the partitioned graph itself, so a
+                # resume needs nothing but the checkpoint directory
+                self.checkpoint_bytes += self._ckpt_writer.write_fleet(
+                    pickle.dumps(sharded, protocol=pickle.HIGHEST_PROTOCOL)
+                )
 
-            # -- round 1: Algorithm 3 on_init everywhere (lockstep has
-            # no intra-round delivery, so the barrier is the only order)
-            rnd = 1
-            for x in all_hosts:
-                self._conns[x].send((_INIT, rnd + 1))
-            sends = 0
-            round_bytes = 0
-            expect = [0] * num_hosts  # per-dest counts for the next round
-            for x in all_hosts:
-                _tag, sent, per_dest, nbytes = self._recv(x)
-                sends += sent
-                sent_msgs[x] += sent
-                round_bytes += nbytes
-                for y, count in per_dest.items():
-                    expect[y] += count
-            pending = sends
-            stats.sends_per_round.append(sends)
-            pipe_bytes.append(round_bytes)
-            if sends:
-                stats.execution_time += 1
+            if resume is not None:
+                # -- adopt the manifest's loop state; the workers'
+                # snapshots already hold the drained mailbox backlog,
+                # so the barrier resumes as if never interrupted
+                co = resume.coordinator
+                rnd = co["rnd"]
+                expect = list(co["expect"])
+                sends = co["sends"]
+                pending = co["pending"]
+                stats.sends_per_round.extend(co["sends_per_round"])
+                stats.execution_time = co["execution_time"]
+                for x, count in enumerate(co["sent_msgs"]):
+                    sent_msgs[x] = count
+                pipe_bytes.extend(co["pipe_bytes_per_round"])
+                self.recoveries.extend(co.get("recoveries", ()))
+                self.resumed_from_round = rnd
+                self._ckpt_round = rnd
+                self._ckpt_blobs = list(resume.worker_blobs)
+            else:
+                # -- round 1: Algorithm 3 on_init everywhere (lockstep
+                # has no intra-round delivery, so the barrier is the
+                # only order)
+                rnd = 1
+                self._expect_hist[1] = [0] * num_hosts
+                for x in all_hosts:
+                    self._conns[x].send((_INIT, rnd + 1))
+                sends = 0
+                round_bytes = 0
+                expect = [0] * num_hosts  # per-dest counts, next round
+                reports = self._round_barrier(rnd)
+                for x in all_hosts:
+                    _tag, sent, per_dest, nbytes = reports[x]
+                    sends += sent
+                    sent_msgs[x] += sent
+                    round_bytes += nbytes
+                    for y, count in per_dest.items():
+                        expect[y] += count
+                pending = sends
+                stats.sends_per_round.append(sends)
+                pipe_bytes.append(round_bytes)
+                if sends:
+                    stats.execution_time += 1
+                if self.checkpoint and self.checkpoint.due(rnd):
+                    self._write_checkpoint(
+                        rnd, expect, sends, pending, sent_msgs, pipe_bytes
+                    )
 
             while sends or pending:
                 if rnd >= self.max_rounds:
@@ -580,14 +1216,16 @@ class MultiProcessOneToManyEngine:
                     stats.rounds_executed = rnd
                     break
                 rnd += 1
+                self._expect_hist[rnd] = list(expect)
                 for x in all_hosts:
                     self._conns[x].send((_STEP, rnd, expect[x]))
                 delivered = sum(expect)
                 expect = [0] * num_hosts
                 sends = 0
                 round_bytes = 0
+                reports = self._round_barrier(rnd)
                 for x in all_hosts:
-                    _tag, sent, per_dest, nbytes = self._recv(x)
+                    _tag, sent, per_dest, nbytes = reports[x]
                     sends += sent
                     sent_msgs[x] += sent
                     round_bytes += nbytes
@@ -598,6 +1236,10 @@ class MultiProcessOneToManyEngine:
                 pipe_bytes.append(round_bytes)
                 if sends:
                     stats.execution_time += 1
+                if self.checkpoint and self.checkpoint.due(rnd):
+                    self._write_checkpoint(
+                        rnd, expect, sends, pending, sent_msgs, pipe_bytes
+                    )
             else:
                 stats.rounds_executed = rnd
 
@@ -607,9 +1249,16 @@ class MultiProcessOneToManyEngine:
             self._owned_est = []
             estimates_sent = self.estimates_sent = array("q")
             for x in all_hosts:
-                _tag, owned, est_sent = self._recv(x)
+                _tag, owned, est_sent = self._recv(x, rnd)
                 self._owned_est.append(owned)
                 estimates_sent.append(est_sent)
+        except _WorkerLost as exc:
+            # a loss outside a recoverable barrier (checkpoint / gather /
+            # mid-recovery): reap everything, then surface it loudly
+            try:
+                self._raise_lost([exc], rnd)
+            finally:
+                self._shutdown(graceful=False)
         except BaseException:
             self._shutdown(graceful=False)
             raise

@@ -188,6 +188,80 @@ class TestDecompose:
                  "--workers", "2", "--mode", "peersim"]
             )
 
+    def test_checkpoint_and_resume_roundtrip(self, edge_file, tmp_path,
+                                             capsys):
+        import warnings
+
+        ck = str(tmp_path / "ck")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert main(
+                ["decompose", "--edges", edge_file,
+                 "--algorithm", "one-to-many-mp", "--workers", "2",
+                 "--checkpoint-every", "2", "--checkpoint-dir", ck]
+            ) == 0
+            first = capsys.readouterr().out
+            assert main(["decompose", "--resume", ck]) == 0
+        resumed = capsys.readouterr().out
+        assert "resumed:" in resumed
+        # same algorithm label and identical decomposition summary
+        k_line = [l for l in first.splitlines() if "k_max" in l]
+        assert k_line and k_line[0] in resumed
+
+    def test_checkpoint_flags_must_come_together(self, edge_file):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="together"):
+            main(
+                ["decompose", "--edges", edge_file,
+                 "--algorithm", "one-to-many-mp", "--workers", "2",
+                 "--checkpoint-every", "2"]
+            )
+
+    def test_checkpoint_needs_mp_engine(self, edge_file, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--engine mp"):
+            main(
+                ["decompose", "--edges", edge_file,
+                 "--algorithm", "one-to-many", "--engine", "flat",
+                 "--checkpoint-every", "2",
+                 "--checkpoint-dir", str(tmp_path / "ck")]
+            )
+
+    def test_checkpoint_rejected_for_baselines(self, edge_file, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="no meaning"):
+            main(
+                ["decompose", "--edges", edge_file, "--algorithm", "bz",
+                 "--checkpoint-every", "2",
+                 "--checkpoint-dir", str(tmp_path / "ck")]
+            )
+
+    def test_resume_rejects_conflicting_flags(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--resume"):
+            main(
+                ["decompose", "--resume", str(tmp_path / "ck"),
+                 "--algorithm", "one-to-many-mp"]
+            )
+
+    def test_resume_is_a_source(self, edge_file, tmp_path):
+        """--resume carries its own graph, so it excludes --edges."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["decompose", "--edges", edge_file,
+                 "--resume", str(tmp_path / "ck")]
+            )
+
+    def test_resume_missing_checkpoint_fails_loudly(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        with pytest.raises(CheckpointError, match="missing"):
+            main(["decompose", "--resume", str(tmp_path / "nowhere")])
+
     def test_pregel(self, edge_file, capsys):
         assert main(
             ["decompose", "--edges", edge_file, "--algorithm", "pregel"]
