@@ -1,0 +1,12 @@
+"""Developer tooling that guards the reproduction's architecture.
+
+Nothing in this package is imported by the simulation code paths; it
+exists for contributors and CI. Current contents:
+
+* :mod:`repro.devtools.lint` — "replay-lint", the AST-based invariant
+  linter that mechanically enforces the bit-identical-replay contracts
+  (seeded-RNG-only determinism, numpy import gating, kernel-backend
+  parity, config-knob validation coverage, the pickling contract and
+  checkpoint atomicity). Run it with ``python -m repro.devtools.lint
+  src benchmarks``.
+"""

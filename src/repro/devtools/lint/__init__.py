@@ -1,0 +1,131 @@
+"""replay-lint — AST-based enforcement of the bit-identical-replay architecture.
+
+Every layer of this reproduction is pinned to the layer below by
+equivalence suites that assert *bit-identical* results. Those suites
+can only catch a broken invariant after the fact, on the
+configurations they enumerate; replay-lint turns the invariants
+themselves into machine-checked rules that fail fast on every
+configuration at once:
+
+========  ==========================================================
+RPL001    no nondeterminism sources in semantics-bearing modules
+          (unseeded ``random.*``, wall-clock into results,
+          ``hash()``/``id()``, set-iteration order into
+          order-sensitive constructs)
+RPL002    numpy imports gated — module scope only inside
+          ``sim/kernels/numpy_backend.py``
+RPL003    stdlib/numpy backends expose exactly the ``KernelBackend``
+          protocol surface (names, arities, keyword names)
+RPL004    every config dataclass knob is referenced by the
+          config-validation layer (no silently-ignored knobs)
+RPL005    ``__getstate__``/``__setstate__`` pairing; mp-pinned classes
+          keep lazy caches out of their pickled state
+RPL006    checkpoint writes flow through the tmp→fsync→rename commit
+          helper
+========  ==========================================================
+
+Usage::
+
+    python -m repro.devtools.lint src benchmarks          # text report
+    python -m repro.devtools.lint --format json src       # machine-readable
+    python -m repro.devtools.lint --list-rules
+
+Exit status: 0 clean, 1 findings, 2 usage/parse errors. Suppress a
+deliberate violation with ``# repl: disable=RPLxxx`` on (or directly
+above) the line, or ``# repl: disable-file=RPLxxx`` for a whole module
+— see ``docs/invariants.md`` for when that is legitimate.
+
+The implementation is stdlib-``ast`` only and never imports the code
+it checks, so it runs identically on the stdlib-only CI leg.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from repro.devtools.lint.engine import (
+    Finding,
+    LintError,
+    Rule,
+    SourceFile,
+    iter_rules,
+    parse_source,
+    rule,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "Rule",
+    "SourceFile",
+    "collect_files",
+    "iter_rules",
+    "lint_paths",
+    "lint_sources",
+    "parse_source",
+    "rule",
+    "run_lint",
+]
+
+#: Directory names never descended into when walking paths.
+_SKIP_DIRS = {
+    ".git",
+    "__pycache__",
+    ".pytest_cache",
+    ".hypothesis",
+    ".benchmarks",
+    "out",
+    "node_modules",
+    ".venv",
+    "venv",
+}
+
+
+def collect_files(paths: Sequence[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+            continue
+        if not os.path.isdir(path):
+            raise LintError(f"no such file or directory: {path}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in _SKIP_DIRS and not d.startswith(".")
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    out.append(os.path.join(dirpath, name))
+    return sorted(dict.fromkeys(p.replace(os.sep, "/") for p in out))
+
+
+def lint_sources(
+    sources: Iterable[tuple[str, str]], select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint in-memory ``(path, text)`` pairs — the test-fixture entry point.
+
+    Paths are virtual: rules scoped by path (RPL002/RPL006, the
+    semantics-dir gate of RPL001, the protocol/validation lookups of
+    RPL003/RPL004) match on suffixes, so a fixture named
+    ``src/repro/sim/whatever.py`` exercises the same code path as the
+    real tree.
+    """
+    files = [parse_source(path, text) for path, text in sources]
+    return run_lint(files, select=select)
+
+
+def lint_paths(
+    paths: Sequence[str], select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint files/directories on disk; raises :class:`LintError` early."""
+    sources = []
+    for path in collect_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                sources.append((path, fh.read()))
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from None
+    return lint_sources(sources, select=select)

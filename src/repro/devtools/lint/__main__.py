@@ -1,0 +1,90 @@
+"""CLI for replay-lint: ``python -m repro.devtools.lint [paths...]``.
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+or parse errors — so CI can gate on it exactly like any other linter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.devtools.lint import LintError, iter_rules, lint_paths
+
+#: Schema version of the ``--format json`` payload.
+JSON_FORMAT_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description=(
+            "replay-lint: enforce the bit-identical-replay invariants "
+            "(RPL001-RPL006) over the given files/directories."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "benchmarks"],
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RPLxxx[,RPLxxx...]",
+        help="run only the named rules",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every registered rule and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for r in iter_rules():
+            print(f"{r.code}  {r.name}: {r.summary}")
+        return 0
+    select = None
+    if args.select:
+        select = [c.strip() for c in args.select.split(",") if c.strip()]
+    try:
+        findings = lint_paths(args.paths, select=select)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        payload = {
+            "version": JSON_FORMAT_VERSION,
+            "findings": [f.to_json() for f in findings],
+            "counts": _counts(findings),
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"replay-lint: {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+def _counts(findings) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts
+
+
+if __name__ == "__main__":
+    sys.exit(main())

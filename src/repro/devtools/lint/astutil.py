@@ -1,0 +1,105 @@
+"""Small AST helpers shared by the replay-lint rules.
+
+Everything here is deliberately syntactic: replay-lint never imports
+the code it checks (importing would execute module side effects and
+would need numpy installed to look at the numpy backend), so "types"
+are inferred from surface syntax only. Rules are written so that an
+inference miss fails *silent*, not *loud* — a construct the helpers
+cannot classify produces no finding rather than a false positive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "attr_chain",
+    "build_parents",
+    "dotted_name",
+    "enclosing_class",
+    "enclosing_function",
+    "is_module_scope",
+    "iter_parents",
+    "path_matches",
+]
+
+
+def build_parents(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """Child -> parent map for every node under ``tree``."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def iter_parents(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> Iterator[ast.AST]:
+    """Walk ancestors from ``node``'s parent up to the module."""
+    current = parents.get(node)
+    while current is not None:
+        yield current
+        current = parents.get(current)
+
+
+def enclosing_function(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    for anc in iter_parents(node, parents):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return anc
+    return None
+
+
+def enclosing_class(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> ast.ClassDef | None:
+    for anc in iter_parents(node, parents):
+        if isinstance(anc, ast.ClassDef):
+            return anc
+    return None
+
+
+def is_module_scope(node: ast.AST, parents: dict[ast.AST, ast.AST]) -> bool:
+    """True when ``node`` sits outside any function or lambda body.
+
+    Class bodies count as module scope here: a class-level ``import``
+    still executes at import time.
+    """
+    for anc in iter_parents(node, parents):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return False
+    return True
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = attr_chain(node)
+    return ".".join(parts) if parts else None
+
+
+def attr_chain(node: ast.AST) -> list[str] | None:
+    """``["a", "b", "c"]`` for ``a.b.c``; ``None`` for anything fancier."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def path_matches(path: str, suffix: str) -> bool:
+    """Does ``path`` end with the path ``suffix`` on a component boundary?
+
+    ``path_matches("src/repro/sim/checkpoint.py", "sim/checkpoint.py")``
+    is true; ``"src/repro/sim/not_checkpoint.py"`` is not. Fixture
+    batches in the test suite rely on this: a synthetic path with the
+    right suffix exercises path-scoped rules without the real tree.
+    """
+    norm = path.replace("\\", "/")
+    return norm == suffix or norm.endswith("/" + suffix)

@@ -1,0 +1,206 @@
+"""Core machinery for replay-lint: findings, registry, suppressions.
+
+The linter is deliberately stdlib-only (``ast`` + ``re``): it must run
+in every environment the reproduction itself runs in, including the
+stdlib-only CI leg. Rules are small functions registered under an
+``RPLxxx`` code with :func:`rule`; the runner parses each file once,
+hands per-file rules a :class:`SourceFile` and project rules the whole
+batch (cross-file contracts like backend parity need to see several
+modules at once), then drops findings silenced by ``# repl:`` comments.
+
+Suppression grammar (mirrors the usual linter conventions):
+
+* ``# repl: disable=RPL001`` — trailing on the flagged line, or on a
+  comment-only line immediately above it; several codes separated by
+  commas.
+* ``# repl: disable-file=RPL001`` — anywhere in the file, silences the
+  code for the whole file.
+
+Suppressions are per-code on purpose: a blanket "disable everything"
+escape hatch would let a new invariant violation hide behind an old,
+legitimately-suppressed one.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "Rule",
+    "SourceFile",
+    "iter_rules",
+    "parse_source",
+    "rule",
+    "run_lint",
+]
+
+
+class LintError(Exception):
+    """A file could not be linted at all (unreadable / unparsable)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repl:\s*(disable|disable-file)\s*=\s*([A-Z0-9]+(?:\s*,\s*[A-Z0-9]+)*)"
+)
+
+
+def _parse_suppressions(lines: Sequence[str]) -> tuple[dict[int, set[str]], set[str]]:
+    per_line: dict[int, set[str]] = {}
+    whole_file: set[str] = set()
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes = {c.strip() for c in match.group(2).split(",") if c.strip()}
+        if match.group(1) == "disable-file":
+            whole_file |= codes
+        else:
+            per_line.setdefault(lineno, set()).update(codes)
+    return per_line, whole_file
+
+
+@dataclass
+class SourceFile:
+    """One parsed module plus everything rules need to inspect it."""
+
+    path: str  # normalized to forward slashes, as reported in findings
+    text: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    _suppress_lines: dict[int, set[str]] = field(default_factory=dict)
+    _suppress_file: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if code in self._suppress_file:
+            return True
+        if code in self._suppress_lines.get(line, ()):
+            return True
+        # a comment-only line directly above the finding may carry the
+        # suppression (for lines too long to take a trailing comment)
+        above = self._suppress_lines.get(line - 1)
+        if above and code in above:
+            text = self.lines[line - 2] if line - 2 < len(self.lines) else ""
+            if text.lstrip().startswith("#"):
+                return True
+        return False
+
+
+def parse_source(path: str, text: str) -> SourceFile:
+    """Parse ``text`` into a :class:`SourceFile` (raises :class:`LintError`)."""
+    norm = path.replace("\\", "/")
+    try:
+        tree = ast.parse(text, filename=norm)
+    except SyntaxError as exc:
+        raise LintError(f"{norm}:{exc.lineno or 0}: syntax error: {exc.msg}") from None
+    lines = text.splitlines()
+    per_line, whole_file = _parse_suppressions(lines)
+    return SourceFile(
+        path=norm,
+        text=text,
+        tree=tree,
+        lines=lines,
+        _suppress_lines=per_line,
+        _suppress_file=whole_file,
+    )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered invariant check.
+
+    ``scope`` is ``"file"`` (checked one module at a time) or
+    ``"project"`` (checked once over the whole batch — cross-file
+    contracts). File rules receive one :class:`SourceFile`; project
+    rules receive the full sequence.
+    """
+
+    code: str
+    name: str
+    summary: str
+    scope: str
+    check: Callable[..., Iterable[Finding]]
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, summary: str, scope: str = "file"):
+    """Class-decorator-free registration: ``@rule("RPL001", ...)``."""
+    if scope not in ("file", "project"):
+        raise ValueError(f"unknown rule scope {scope!r}")
+
+    def register(check: Callable[..., Iterable[Finding]]):
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate rule code {code}")
+        _REGISTRY[code] = Rule(code, name, summary, scope, check)
+        return check
+
+    return register
+
+
+def iter_rules() -> tuple[Rule, ...]:
+    """Every registered rule, ordered by code."""
+    import repro.devtools.lint.rules  # noqa: F401  (registration side effect)
+
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def run_lint(
+    files: Sequence[SourceFile], select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Run every (selected) rule over the batch; suppressed findings drop.
+
+    Findings come back sorted by location so output is stable across
+    runs and dict orderings.
+    """
+    rules = iter_rules()
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {r.code for r in rules}
+        if unknown:
+            raise LintError(f"unknown rule code(s): {sorted(unknown)}")
+        rules = tuple(r for r in rules if r.code in wanted)
+    by_path = {f.path: f for f in files}
+    findings: list[Finding] = []
+    for r in rules:
+        if r.scope == "file":
+            for f in files:
+                findings.extend(r.check(f))
+        else:
+            findings.extend(r.check(files))
+    kept = []
+    for finding in findings:
+        src = by_path.get(finding.path)
+        if src is not None and src.is_suppressed(finding.rule, finding.line):
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept

@@ -1,0 +1,15 @@
+"""Rule registry for replay-lint — importing this package registers all rules.
+
+One module per rule, named after its code; see ``docs/invariants.md``
+for the architectural contract each rule encodes and when suppression
+is legitimate.
+"""
+
+from repro.devtools.lint.rules import (  # noqa: F401  (registration side effects)
+    rpl001_determinism,
+    rpl002_import_gating,
+    rpl003_backend_parity,
+    rpl004_config_coverage,
+    rpl005_pickling,
+    rpl006_checkpoint_atomicity,
+)

@@ -1,0 +1,489 @@
+"""RPL001 — no nondeterminism sources in semantics-bearing modules.
+
+Every engine in this reproduction is pinned to the object-engine oracle
+by *bit-identical* equivalence suites: same seed, same coreness, same
+round counts, same per-round message counts. That only holds while the
+sole source of randomness is an explicitly seeded ``random.Random``
+stream and no run-dependent value (wall-clock time, ``hash()`` /
+``id()``, set iteration order) can influence a result. This rule
+patrols the semantics-bearing packages — ``sim/``, ``graph/``,
+``baselines/``, ``pregel/``, ``streaming/``, ``generalized/`` — for:
+
+* calls through the module-level ``random`` API (``random.shuffle``,
+  ``random.randint``, ...) which share unseeded global state, and
+  ``random.SystemRandom`` which is OS entropy; ``random.Random(seed)``
+  construction is the sanctioned pattern;
+* wall-clock reads (``time.time`` / ``perf_counter`` / ``monotonic`` /
+  ``datetime.now`` ...) whose value flows anywhere other than a
+  telemetry sink. Timing *measurement* is fine — ``wall_seconds``,
+  ``t0`` / ``start`` deltas, barrier timestamps and timeout deadlines
+  are telemetry and failure detection, not semantics — so reads
+  assigned to telemetry-named targets (or compared against deadlines /
+  passed as timeouts) pass; anything else is assumed to feed results;
+* ``hash()`` / ``id()`` calls — both vary across interpreter runs
+  (PYTHONHASHSEED, allocator), so neither may influence comparisons,
+  ordering or message payloads;
+* iteration over ``set`` values flowing into order-sensitive
+  constructs — list builds (``list(s)``, ``[x for x in s]``, loops
+  that ``append`` / ``extend`` / ``put`` / ``send``), and ``set`` /
+  ``dict``-view arguments reaching a ``shuffle``. The fix is almost
+  always ``sorted(...)`` at the boundary, which this rule recognises
+  and passes.
+
+Entropy sources with no deterministic use at all (``os.urandom``,
+``uuid.uuid4``, ``secrets``) are flagged unconditionally.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.devtools.lint.astutil import (
+    build_parents,
+    dotted_name,
+    iter_parents,
+)
+from repro.devtools.lint.engine import Finding, SourceFile, rule
+
+CODE = "RPL001"
+
+#: Packages whose modules bear replay semantics.
+_SEMANTIC_RE = re.compile(
+    r"(^|/)repro/(sim|graph|baselines|pregel|streaming|generalized)(/|$)"
+)
+
+#: Assignment targets / dict keys / kwarg names that mark a wall-clock
+#: read as telemetry (time *measurement*), not semantics.
+_TELEMETRY_RE = re.compile(
+    r"^(t0|t1|start|end|now|deadline|elapsed|wall)$"
+    r"|(^|_)(ts|time|timestamp|seconds|secs|timeout|deadline)s?$"
+)
+
+_TIME_FUNCS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+}
+
+#: Entropy calls with no legitimate use in a deterministic replay.
+_ENTROPY_CALLS = {
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbelow",
+    "secrets.choice",
+}
+
+_DATETIME_SUFFIXES = ("datetime.now", "datetime.utcnow", "date.today")
+
+
+def is_semantics_path(path: str) -> bool:
+    norm = path.replace("\\", "/")
+    if "/devtools/" in norm:
+        return False
+    return _SEMANTIC_RE.search(norm) is not None
+
+
+def _is_telemetry_name(name: str) -> bool:
+    return _TELEMETRY_RE.search(name.lower()) is not None
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class _ModuleImports:
+    """Which local names refer to the ``random`` / ``time`` modules."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.random_modules: set[str] = set()
+        self.time_modules: set[str] = set()
+        self.time_funcs: set[str] = set()  # from time import perf_counter [as x]
+        self.random_funcs: set[str] = set()  # from random import shuffle [as x]
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        self.random_modules.add(local)
+                    elif alias.name == "time":
+                        self.time_modules.add(local)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_FUNCS:
+                            self.time_funcs.add(alias.asname or alias.name)
+                elif node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in ("Random",):
+                            self.random_funcs.add(alias.asname or alias.name)
+
+
+def _time_call_kind(call: ast.Call, imports: _ModuleImports) -> str | None:
+    """Name of the wall-clock function if ``call`` reads the clock."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _TIME_FUNCS
+        and isinstance(func.value, ast.Name)
+        and func.value.id in imports.time_modules
+    ):
+        return f"{func.value.id}.{func.attr}"
+    if isinstance(func, ast.Name) and func.id in imports.time_funcs:
+        return func.id
+    name = dotted_name(func)
+    if name and name.endswith(_DATETIME_SUFFIXES):
+        return name
+    return None
+
+
+def _time_flows_to_telemetry(
+    call: ast.Call, parents: dict[ast.AST, ast.AST]
+) -> bool:
+    """Walk outward from a clock read until a statement decides its fate."""
+    child: ast.AST = call
+    for anc in iter_parents(call, parents):
+        if isinstance(anc, (ast.Assign, ast.AugAssign)):
+            targets = anc.targets if isinstance(anc, ast.Assign) else [anc.target]
+            names = [_terminal_name(t) for t in targets]
+            return all(n is not None and _is_telemetry_name(n) for n in names)
+        if isinstance(anc, ast.AnnAssign):
+            name = _terminal_name(anc.target)
+            return name is not None and _is_telemetry_name(name)
+        if isinstance(anc, ast.Dict):
+            for key, value in zip(anc.keys, anc.values):
+                if value is child:
+                    return (
+                        isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and _is_telemetry_name(key.value)
+                    )
+            return False
+        if isinstance(anc, ast.keyword):
+            return anc.arg is not None and _is_telemetry_name(anc.arg)
+        if isinstance(anc, ast.Compare):
+            # deadline / timeout checks: the other side must say so
+            sides = [anc.left, *anc.comparators]
+            for side in sides:
+                if side is child:
+                    continue
+                for sub in ast.walk(side):
+                    name = _terminal_name(sub)
+                    if name is not None and _is_telemetry_name(name):
+                        return True
+            return False
+        if isinstance(anc, (ast.BinOp, ast.UnaryOp)):
+            child = anc
+            continue
+        if isinstance(anc, ast.stmt):
+            return False
+        child = anc
+    return False
+
+
+# ----------------------------------------------------------------------
+# set-iteration-order analysis
+# ----------------------------------------------------------------------
+
+_SET_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+
+_ORDER_SENSITIVE_METHODS = {"append", "extend", "appendleft", "put", "send"}
+
+
+def _annotation_is_set(node: ast.AST) -> bool:
+    base = node.value if isinstance(node, ast.Subscript) else node
+    name = dotted_name(base)
+    return name in ("set", "frozenset", "Set", "FrozenSet", "typing.Set")
+
+
+class _SetTyping:
+    """Syntactic per-scope inference of which names hold sets."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+
+    def expr_is_set(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                "set",
+                "frozenset",
+            ):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_METHODS
+                and self.expr_is_set(node.func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self.expr_is_set(node.left) or self.expr_is_set(node.right)
+        return False
+
+    def observe(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                if self.expr_is_set(stmt.value):
+                    self.names.add(target.id)
+                else:
+                    self.names.discard(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if _annotation_is_set(stmt.annotation):
+                self.names.add(stmt.target.id)
+
+
+def _is_dict_view(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "values", "items")
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _scopes(tree: ast.Module) -> Iterator[list[ast.stmt]]:
+    """The module body and every function body, each as one flat scope."""
+    yield list(ast.iter_child_nodes(tree))  # not quite stmts only; filtered below
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.body
+
+
+def _walk_scope(body: Iterable[ast.AST]) -> Iterator[ast.stmt]:
+    """Statements of one scope in order, not descending into functions."""
+    for stmt in body:
+        if not isinstance(stmt, ast.stmt):
+            continue
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield from _walk_scope(
+            child
+            for child in ast.iter_child_nodes(stmt)
+            if isinstance(child, ast.stmt)
+        )
+
+
+def _own_exprs(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Every expression node owned by ``stmt`` itself (no nested stmts).
+
+    Python expressions cannot contain statements, so walking the
+    expression children covers exactly the statement's own expressions;
+    nested compound-statement bodies are visited by :func:`_walk_scope`.
+    """
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.expr):
+            yield from ast.walk(child)
+
+
+def _loop_body_is_order_sensitive(loop: ast.For) -> bool:
+    for node in ast.walk(loop):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _ORDER_SENSITIVE_METHODS
+        ):
+            return True
+        if isinstance(node, ast.Yield):
+            return True
+    return False
+
+
+def _check_set_order(src: SourceFile) -> Iterator[Finding]:
+    for body in _scopes(src.tree):
+        typing_ = _SetTyping()
+        for stmt in _walk_scope(body):
+            typing_.observe(stmt)
+            if isinstance(stmt, ast.For) and typing_.expr_is_set(stmt.iter):
+                if _loop_body_is_order_sensitive(stmt):
+                    yield Finding(
+                        CODE,
+                        src.path,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        "loop over a set feeds an order-sensitive "
+                        "construct (append/extend/put/send/yield); "
+                        "iterate sorted(...) instead",
+                    )
+            for node in _own_exprs(stmt):
+                if isinstance(node, ast.Call):
+                    func_name = dotted_name(node.func)
+                    # list(S) / tuple(S) materialise an arbitrary order
+                    if (
+                        isinstance(node.func, ast.Name)
+                        and node.func.id in ("list", "tuple")
+                        and node.args
+                        and typing_.expr_is_set(node.args[0])
+                    ):
+                        yield Finding(
+                            CODE,
+                            src.path,
+                            node.lineno,
+                            node.col_offset,
+                            f"{node.func.id}() over a set materialises "
+                            "nondeterministic iteration order into an "
+                            "order-sensitive sequence; wrap the set in "
+                            "sorted(...) instead",
+                        )
+                    # shuffle(<anything derived from a set or dict view>)
+                    if func_name and func_name.split(".")[-1] == "shuffle":
+                        for arg in node.args:
+                            hit = None
+                            for sub in ast.walk(arg):
+                                if typing_.expr_is_set(sub):
+                                    hit = "set"
+                                    break
+                                if _is_dict_view(sub):
+                                    hit = f"dict .{sub.func.attr}() view"
+                                    break
+                            if hit:
+                                yield Finding(
+                                    CODE,
+                                    src.path,
+                                    node.lineno,
+                                    node.col_offset,
+                                    f"shuffle input is built from a {hit}: "
+                                    "the pre-shuffle order decides how the "
+                                    "seeded RNG stream is consumed, so it "
+                                    "must be deterministic — sort first",
+                                )
+                if isinstance(node, ast.ListComp):
+                    for comp in node.generators:
+                        if typing_.expr_is_set(comp.iter):
+                            yield Finding(
+                                CODE,
+                                src.path,
+                                node.lineno,
+                                node.col_offset,
+                                "list comprehension iterates a set: the "
+                                "resulting order is run-dependent; iterate "
+                                "sorted(...) instead",
+                            )
+
+
+@rule(
+    CODE,
+    "no-nondeterminism",
+    "semantics-bearing modules must not read unseeded RNG, the clock, "
+    "hash()/id(), or set iteration order into results",
+)
+def check(src: SourceFile) -> Iterable[Finding]:
+    if not is_semantics_path(src.path):
+        return []
+    findings: list[Finding] = []
+    imports = _ModuleImports(src.tree)
+    parents = build_parents(src.tree)
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = dotted_name(func)
+        # -- unseeded / OS randomness ---------------------------------
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in imports.random_modules
+        ):
+            if func.attr == "SystemRandom":
+                findings.append(
+                    Finding(
+                        CODE,
+                        src.path,
+                        node.lineno,
+                        node.col_offset,
+                        "random.SystemRandom draws OS entropy and can "
+                        "never replay; use random.Random(seed)",
+                    )
+                )
+            elif func.attr != "Random":
+                findings.append(
+                    Finding(
+                        CODE,
+                        src.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"module-level random.{func.attr}() shares unseeded "
+                        "global state; draw from an explicitly seeded "
+                        "random.Random instance instead",
+                    )
+                )
+        elif isinstance(func, ast.Name) and func.id in imports.random_funcs:
+            findings.append(
+                Finding(
+                    CODE,
+                    src.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"{func.id}() imported from the random module shares "
+                    "unseeded global state; draw from an explicitly "
+                    "seeded random.Random instance instead",
+                )
+            )
+        # -- wall clock -----------------------------------------------
+        clock = _time_call_kind(node, imports)
+        if clock is not None and not _time_flows_to_telemetry(node, parents):
+            findings.append(
+                Finding(
+                    CODE,
+                    src.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"{clock}() feeds a non-telemetry expression: "
+                    "wall-clock values must only reach timing telemetry "
+                    "(wall_seconds, *_ts, deadlines), never results",
+                )
+            )
+        # -- hash()/id() ----------------------------------------------
+        if isinstance(func, ast.Name) and func.id in ("hash", "id") and node.args:
+            findings.append(
+                Finding(
+                    CODE,
+                    src.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"builtin {func.id}() varies across interpreter runs "
+                    "(PYTHONHASHSEED / allocator) and must not influence "
+                    "semantics in a replayed module",
+                )
+            )
+        # -- pure entropy ---------------------------------------------
+        if name in _ENTROPY_CALLS:
+            findings.append(
+                Finding(
+                    CODE,
+                    src.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"{name}() is an OS entropy source with no place in a "
+                    "deterministic replay",
+                )
+            )
+    findings.extend(_check_set_order(src))
+    return findings

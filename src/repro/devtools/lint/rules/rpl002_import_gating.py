@@ -1,0 +1,109 @@
+"""RPL002 — optional-dependency import gating for numpy.
+
+The reproduction must run unchanged in a stdlib-only environment: the
+numpy kernel backend is strictly optional, selected by name through
+:func:`repro.sim.kernels.resolve_backend` only after probing that numpy
+imports. That property dies the moment any module on a default import
+path acquires a module-scope ``import numpy`` — so this rule allows a
+module-scope numpy import in exactly one place, the numpy backend
+itself (``sim/kernels/numpy_backend.py``, which is only ever imported
+behind the registry's gate). Everywhere else numpy must be imported
+
+* inside a function (deferred until the caller opted into numpy), or
+* at module scope inside a ``try`` whose handler catches
+  ``ImportError`` / ``ModuleNotFoundError`` (an explicit availability
+  probe).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.lint.astutil import (
+    build_parents,
+    is_module_scope,
+    iter_parents,
+    path_matches,
+)
+from repro.devtools.lint.engine import Finding, SourceFile, rule
+
+CODE = "RPL002"
+
+#: The one module allowed to import numpy unconditionally at module
+#: scope: it is only ever imported after the registry's availability
+#: probe succeeded.
+_ALLOWED_SUFFIX = "sim/kernels/numpy_backend.py"
+
+
+def _imports_numpy(node: ast.stmt) -> bool:
+    if isinstance(node, ast.Import):
+        return any(
+            alias.name == "numpy" or alias.name.startswith("numpy.")
+            for alias in node.names
+        )
+    if isinstance(node, ast.ImportFrom):
+        return node.level == 0 and (
+            node.module == "numpy"
+            or (node.module or "").startswith("numpy.")
+        )
+    return False
+
+
+def _guarded_by_import_error(
+    node: ast.stmt, parents: dict[ast.AST, ast.AST]
+) -> bool:
+    for anc in iter_parents(node, parents):
+        if isinstance(anc, ast.Try):
+            for handler in anc.handlers:
+                names = []
+                if handler.type is None:
+                    return True  # bare except catches ImportError too
+                if isinstance(handler.type, ast.Tuple):
+                    names = [
+                        t.id for t in handler.type.elts if isinstance(t, ast.Name)
+                    ]
+                elif isinstance(handler.type, ast.Name):
+                    names = [handler.type.id]
+                if any(
+                    n in ("ImportError", "ModuleNotFoundError", "Exception")
+                    for n in names
+                ):
+                    return True
+    return False
+
+
+@rule(
+    CODE,
+    "numpy-import-gating",
+    "numpy may be imported at module scope only inside "
+    "sim/kernels/numpy_backend.py; elsewhere imports must be "
+    "function-local or ImportError-guarded",
+)
+def check(src: SourceFile) -> Iterable[Finding]:
+    if path_matches(src.path, _ALLOWED_SUFFIX):
+        return []
+    parents = build_parents(src.tree)
+    findings: list[Finding] = []
+    for node in ast.walk(src.tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        if not _imports_numpy(node):
+            continue
+        if not is_module_scope(node, parents):
+            continue
+        if _guarded_by_import_error(node, parents):
+            continue
+        findings.append(
+            Finding(
+                CODE,
+                src.path,
+                node.lineno,
+                node.col_offset,
+                "module-scope numpy import outside "
+                "sim/kernels/numpy_backend.py breaks the stdlib-only "
+                "environment; move it inside a function or guard it "
+                "with try/except ImportError",
+            )
+        )
+    return findings

@@ -1,0 +1,170 @@
+"""RPL003 — kernel-backend parity with the ``KernelBackend`` protocol.
+
+The flat engines are written once against the backend protocol in
+``sim/kernels/base.py``; ``StdlibBackend`` defines the semantics and
+``NumpyBackend`` must replay them bit-for-bit. A kernel added to one
+backend but not the other would not fail at import time — Python only
+notices at call time, on whichever engine/backend combination first
+exercises it. This rule closes that hole statically: every class that
+subclasses ``KernelBackend`` must
+
+* implement every public protocol method,
+* add no public methods of its own (a new kernel goes into the
+  protocol first, which forces every backend to follow), and
+* match the protocol signature exactly — positional parameter names in
+  order, number of defaults, keyword-only names, ``*args`` / ``**kw``
+  presence — so keyword call sites behave identically on either
+  backend.
+
+The comparison is purely syntactic (no imports), so it also runs on
+the stdlib-only CI leg where numpy is absent.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.devtools.lint.astutil import path_matches
+from repro.devtools.lint.engine import Finding, SourceFile, rule
+
+CODE = "RPL003"
+
+_PROTOCOL_SUFFIX = "sim/kernels/base.py"
+_PROTOCOL_CLASS = "KernelBackend"
+
+
+@dataclass(frozen=True)
+class _Signature:
+    positional: tuple[str, ...]
+    num_defaults: int
+    kwonly: tuple[str, ...]
+    has_vararg: bool
+    has_kwarg: bool
+
+    def describe(self) -> str:
+        parts = list(self.positional)
+        if self.num_defaults:
+            for i in range(self.num_defaults):
+                parts[len(parts) - self.num_defaults + i] += "=..."
+        if self.has_vararg:
+            parts.append("*args")
+        elif self.kwonly:
+            parts.append("*")
+        parts.extend(f"{k}=..." for k in self.kwonly)
+        if self.has_kwarg:
+            parts.append("**kw")
+        return "(" + ", ".join(parts) + ")"
+
+
+def _signature(func: ast.FunctionDef) -> _Signature:
+    args = func.args
+    names = [a.arg for a in args.posonlyargs + args.args]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return _Signature(
+        positional=tuple(names),
+        num_defaults=len(args.defaults),
+        kwonly=tuple(a.arg for a in args.kwonlyargs),
+        has_vararg=args.vararg is not None,
+        has_kwarg=args.kwarg is not None,
+    )
+
+
+def _public_methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    methods: dict[str, ast.FunctionDef] = {}
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and not node.name.startswith("_"):
+            methods[node.name] = node
+    return methods
+
+
+def _base_names(cls: ast.ClassDef) -> list[str]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _find_protocol(files: Sequence[SourceFile]) -> ast.ClassDef | None:
+    for src in files:
+        if not path_matches(src.path, _PROTOCOL_SUFFIX):
+            continue
+        for node in src.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == _PROTOCOL_CLASS:
+                return node
+    return None
+
+
+@rule(
+    CODE,
+    "backend-parity",
+    "every KernelBackend subclass must expose exactly the protocol's "
+    "public methods with matching signatures",
+    scope="project",
+)
+def check(files: Sequence[SourceFile]) -> Iterable[Finding]:
+    protocol = _find_protocol(files)
+    if protocol is None:
+        return []  # batch does not contain the kernel layer
+    spec = {
+        name: _signature(func)
+        for name, func in _public_methods(protocol).items()
+    }
+    findings: list[Finding] = []
+    for src in files:
+        for node in src.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name == _PROTOCOL_CLASS:
+                continue
+            if _PROTOCOL_CLASS not in _base_names(node):
+                continue
+            methods = _public_methods(node)
+            for name in sorted(set(spec) - set(methods)):
+                findings.append(
+                    Finding(
+                        CODE,
+                        src.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"backend {node.name} is missing protocol kernel "
+                        f"{name}{spec[name].describe()}: a kernel must be "
+                        "implemented by every backend or engines will "
+                        "fail only on this backend at call time",
+                    )
+                )
+            for name in sorted(set(methods) - set(spec)):
+                findings.append(
+                    Finding(
+                        CODE,
+                        src.path,
+                        methods[name].lineno,
+                        methods[name].col_offset,
+                        f"public method {name}() exists on {node.name} but "
+                        "not on the KernelBackend protocol; add it to "
+                        "sim/kernels/base.py (forcing every backend to "
+                        "implement it) or make it private with a leading "
+                        "underscore",
+                    )
+                )
+            for name in sorted(set(methods) & set(spec)):
+                got = _signature(methods[name])
+                if got != spec[name]:
+                    findings.append(
+                        Finding(
+                            CODE,
+                            src.path,
+                            methods[name].lineno,
+                            methods[name].col_offset,
+                            f"{node.name}.{name}{got.describe()} does not "
+                            "match the protocol signature "
+                            f"{name}{spec[name].describe()}: keyword call "
+                            "sites would behave differently per backend",
+                        )
+                    )
+    return findings

@@ -1,0 +1,108 @@
+"""RPL006 — checkpoint files commit via tmp → fsync → rename, only.
+
+A checkpoint that can be *torn* is worse than no checkpoint: the
+recovery path would restore half-written state and silently diverge
+from the replay contract. ``sim/checkpoint.py`` therefore funnels every
+byte it persists through one atomic commit helper — write to
+``<name>.tmp``, ``flush`` + ``os.fsync``, then ``os.replace`` into the
+final path (and the manifest is renamed last, making it the commit
+point). Opening a final path in write mode directly would reintroduce
+the torn-write window.
+
+This rule flags, inside the checkpoint module, every write-mode
+``open()`` (and ``Path.write_text`` / ``write_bytes``, which have the
+same problem) that does not live inside an atomic commit helper — a
+function that both ``os.fsync``\\ s what it wrote and publishes it with
+``os.replace``. Read-mode opens are untouched: loading is the
+verifying side of the contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.lint.astutil import (
+    build_parents,
+    dotted_name,
+    enclosing_function,
+    path_matches,
+)
+from repro.devtools.lint.engine import Finding, SourceFile, rule
+
+CODE = "RPL006"
+
+_TARGET_SUFFIX = "sim/checkpoint.py"
+
+
+def _write_mode(call: ast.Call) -> str | None:
+    """The mode string when ``call`` is a write-mode ``open()``."""
+    if not (isinstance(call.func, ast.Name) and call.func.id == "open"):
+        return None
+    mode_node: ast.AST | None = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode_node = kw.value
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        if any(c in mode_node.value for c in "wax+"):
+            return mode_node.value
+    return None
+
+
+def _is_atomic_helper(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    saw_fsync = saw_replace = False
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func) or ""
+            tail = name.split(".")[-1]
+            if tail == "fsync":
+                saw_fsync = True
+            elif tail == "replace":
+                saw_replace = True
+    return saw_fsync and saw_replace
+
+
+@rule(
+    CODE,
+    "checkpoint-atomicity",
+    "checkpoint writes must flow through a tmp->fsync->os.replace "
+    "commit helper, never open(final_path, 'w') directly",
+)
+def check(src: SourceFile) -> Iterable[Finding]:
+    if not path_matches(src.path, _TARGET_SUFFIX):
+        return []
+    parents = build_parents(src.tree)
+    findings: list[Finding] = []
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        mode = _write_mode(node)
+        is_path_write = isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "write_text",
+            "write_bytes",
+        )
+        if mode is None and not is_path_write:
+            continue
+        func = enclosing_function(node, parents)
+        if func is not None and _is_atomic_helper(func):
+            continue
+        what = (
+            f"open(..., {mode!r})"
+            if mode is not None
+            else f"Path.{node.func.attr}()"  # type: ignore[union-attr]
+        )
+        findings.append(
+            Finding(
+                CODE,
+                src.path,
+                node.lineno,
+                node.col_offset,
+                f"{what} outside an atomic commit helper can tear a "
+                "checkpoint on crash; route the write through the "
+                "tmp->fsync->os.replace helper so the rename stays the "
+                "commit point",
+            )
+        )
+    return findings

@@ -272,7 +272,11 @@ def preferential_attachment_graph(
         targets: set[int] = set()
         while len(targets) < m:
             targets.add(repeated[rng.randrange(len(repeated))])
-        for t in targets:
+        # sorted: the order in which targets land in ``repeated`` drives
+        # every later degree-proportional draw, and set iteration order
+        # is implementation-defined — the replay contract needs the
+        # arbitration explicit
+        for t in sorted(targets):
             graph.add_edge(new, t)
             repeated.extend((new, t))
     return graph

@@ -43,9 +43,21 @@ between rounds — backends that do not need them accept and ignore them
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Protocol, Sequence, runtime_checkable
 
-__all__ = ["KernelBackend", "export_send_counts"]
+__all__ = ["KernelBackend", "Table", "export_send_counts"]
+
+#: A flat i64 buffer in a backend's native container — ``array('q')``
+#: for stdlib, ``numpy.ndarray`` for numpy. Deliberately ``Any``: the
+#: two containers share only the structural index/slice/len surface the
+#: engines use, and pinning either nominal type here would force the
+#: other backend to lie.
+Table = Any
+
+#: A worklist/slot collection returned by one backend and fed back into
+#: the same backend next phase (list, array, or ndarray — engines must
+#: not depend on its order, per the module docstring).
+Worklist = Any
 
 
 def export_send_counts(stats, sent: Sequence[int], ids=None) -> None:
@@ -74,14 +86,23 @@ def export_send_counts(stats, sent: Sequence[int], ids=None) -> None:
     stats.total_messages = int(total)
 
 
-class KernelBackend:
-    """Abstract flat-kernel backend; see the module docstring.
+@runtime_checkable
+class KernelBackend(Protocol):
+    """The flat-kernel backend protocol; see the module docstring.
 
-    Concrete backends: :class:`~repro.sim.kernels.stdlib_backend.
-    StdlibBackend` (canonical) and :class:`~repro.sim.kernels.
-    numpy_backend.NumpyBackend` (vectorised, optional). The
-    engine×backend support matrix lives in
-    :mod:`repro.sim.kernels`.
+    A real :class:`typing.Protocol`: mypy checks the concrete backends
+    *structurally* against this surface (method names, arities, keyword
+    names), and replay-lint's RPL003 enforces the same parity
+    syntactically on environments without mypy. Concrete backends —
+    :class:`~repro.sim.kernels.stdlib_backend.StdlibBackend`
+    (canonical) and :class:`~repro.sim.kernels.numpy_backend.
+    NumpyBackend` (vectorised, optional) — subclass it explicitly,
+    inheriting the raising default bodies so a missing kernel fails
+    loudly rather than silently returning ``None``. The protocol class
+    itself cannot be instantiated (``TypeError``), and
+    ``runtime_checkable`` keeps the registry's ``isinstance`` pass-
+    through working for any structurally-conforming object. The
+    engine×backend support matrix lives in :mod:`repro.sim.kernels`.
     """
 
     #: Registry name ("stdlib" / "numpy").
@@ -90,11 +111,11 @@ class KernelBackend:
     # ------------------------------------------------------------------
     # tables
     # ------------------------------------------------------------------
-    def full(self, n: int, fill: int = 0):
+    def full(self, n: int, fill: int = 0) -> Table:
         """A length-``n`` i64 state table filled with ``fill``."""
         raise NotImplementedError
 
-    def graph_array(self, arr):
+    def graph_array(self, arr: Table) -> Table:
         """Adopt an immutable CSR/shard ``array('q')`` buffer.
 
         May return a zero-copy view; the engine promises not to mutate
@@ -102,11 +123,11 @@ class KernelBackend:
         """
         raise NotImplementedError
 
-    def degrees(self, offsets, n: int):
+    def degrees(self, offsets: Table, n: int) -> Table:
         """Per-node degree table ``offsets[i + 1] - offsets[i]``."""
         raise NotImplementedError
 
-    def worklist_flags(self, n: int):
+    def worklist_flags(self, n: int) -> bytearray | None:
         """Dedupe flag buffer for the shard cascade worklist.
 
         ``None`` when the backend needs no such scratch (vectorised
@@ -123,7 +144,14 @@ class KernelBackend:
         """Scalar ``computeIndex`` (delegates to the canonical kernel)."""
         raise NotImplementedError
 
-    def batch_compute_index(self, nodes, caps, offsets, edge_values, scratch):
+    def batch_compute_index(
+        self,
+        nodes: Sequence[int],
+        caps: Sequence[int],
+        offsets: Sequence[int],
+        edge_values: Table,
+        scratch: list | None,
+    ) -> tuple[Table, Table]:
         """Algorithm 2 over many nodes at once.
 
         For each position ``p``: run ``computeIndex`` for node
@@ -140,7 +168,16 @@ class KernelBackend:
     # ------------------------------------------------------------------
     # one-to-one lockstep phases (Algorithm 1 over a CSRGraph)
     # ------------------------------------------------------------------
-    def seed_estimates(self, offsets, targets, owner, degree, est, sup, in_frontier):
+    def seed_estimates(
+        self,
+        offsets: Table,
+        targets: Table,
+        owner: Table,
+        degree: Table,
+        est: Table,
+        sup: Table,
+        in_frontier: bytearray | None,
+    ) -> Worklist:
         """Round-2 delivery: every slot carries its sender's degree.
 
         Fills ``est[e] = degree[targets[e]]``, seeds the support
@@ -151,7 +188,16 @@ class KernelBackend:
         """
         raise NotImplementedError
 
-    def fold_slots(self, slots, incoming, est, owner, core, sup, in_frontier):
+    def fold_slots(
+        self,
+        slots: Worklist,
+        incoming: Table,
+        est: Table,
+        owner: Table,
+        core: Table,
+        sup: Table,
+        in_frontier: bytearray | None,
+    ) -> Worklist:
         """Fold one round of mailbox slots into the estimate table.
 
         For each delivered slot, record ``incoming[slot]`` into
@@ -194,7 +240,17 @@ class KernelBackend:
     # ------------------------------------------------------------------
     # one-to-many shard phases (Algorithms 3-5 over a HostShard)
     # ------------------------------------------------------------------
-    def seed_shard(self, offsets, targets, n_owned, n_ext, infinity, est, sup, queued):
+    def seed_shard(
+        self,
+        offsets: Table,
+        targets: Table,
+        n_owned: int,
+        n_ext: int,
+        infinity: int,
+        est: Table,
+        sup: Table,
+        queued: bytearray | None,
+    ) -> Worklist:
         """Algorithm 3 initialisation for one shard.
 
         Owned estimates start at their degree, external ones at
@@ -247,7 +303,9 @@ class KernelBackend:
     # ------------------------------------------------------------------
     # bulk-synchronous sweeps (h-index / Pregel baselines)
     # ------------------------------------------------------------------
-    def hindex_sweep(self, offsets, targets, values, scratch):
+    def hindex_sweep(
+        self, offsets: Table, targets: Table, values: Table, scratch: list | None
+    ) -> tuple[Any, Table]:
         """One synchronous (Jacobi) h-index sweep over all nodes.
 
         Every node's next value is ``computeIndex`` over its
@@ -256,7 +314,9 @@ class KernelBackend:
         """
         raise NotImplementedError
 
-    def count_intra(self, slots, owner, targets, worker_of) -> int:
+    def count_intra(
+        self, slots: Worklist, owner: Table, targets: Table, worker_of: Table
+    ) -> int:
         """How many of the given mailbox slots stay inside one worker.
 
         A slot's message travels ``targets[slot] -> owner[slot]``;
@@ -267,7 +327,7 @@ class KernelBackend:
         """
         raise NotImplementedError
 
-    def count_distinct_owners(self, slots, owner, n: int) -> int:
+    def count_distinct_owners(self, slots: Worklist, owner: Table, n: int) -> int:
         """How many distinct receivers the given mailbox slots address.
 
         ``owner[slot]`` is the node a slot delivers to; counts the

@@ -65,9 +65,24 @@ class TestRegistry:
     def test_numpy_backend_is_cached(self):
         assert resolve_backend("numpy") is resolve_backend("numpy")
 
-    def test_abstract_backend_refuses_work(self):
+    def test_protocol_cannot_be_instantiated(self):
+        # KernelBackend is a typing.Protocol: the abstract surface is
+        # checked structurally (mypy + replay-lint RPL003), never built
+        with pytest.raises(TypeError, match="[Pp]rotocol"):
+            KernelBackend()
+
+    def test_protocol_default_bodies_raise(self):
+        # explicit subclasses inherit raising defaults, so a backend
+        # missing a kernel fails loudly instead of returning None
+        class Partial(KernelBackend):
+            name = "partial"
+
         with pytest.raises(NotImplementedError):
-            KernelBackend().full(3)
+            Partial().full(3)
+
+    def test_backends_satisfy_protocol_structurally(self):
+        for backend in backends():
+            assert isinstance(backend, KernelBackend)
 
 
 class TestTables:
