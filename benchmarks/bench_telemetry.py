@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""Tracing-on overhead of the telemetry layer (and its purity).
+
+Runs the flat engines — one-to-one lockstep and one-to-many lockstep
+(8 hosts) — with telemetry disabled and enabled, on the same er / ba
+graph families as the other benchmarks, and records the wall-time
+ratio ``traced_seconds / plain_seconds`` per row. Two bars, both
+enforced on every run (smoke included for the purity bar):
+
+* **purity** — the traced run must be bit-identical to the untraced
+  one: same coreness, rounds, per-round sends, per-process counts and
+  Figure-5 ``estimates_sent`` (telemetry is a pure observer);
+* **overhead** — at the largest benchmarked size the median tracing-on
+  overhead must stay within :data:`OVERHEAD_BAR` (1.05 = +5% wall).
+  The recorded ``BENCH_telemetry.json`` pins this at n=20k; the gate
+  is skipped under ``--smoke``, where fixed costs dominate seconds-long
+  runs and the ratio is all noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py            # full run
+    PYTHONPATH=src python benchmarks/bench_telemetry.py --smoke    # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.core.one_to_many import OneToManyConfig, run_one_to_many  # noqa: E402
+from repro.core.one_to_one import OneToOneConfig, run_one_to_one  # noqa: E402
+from repro.graph import generators as gen  # noqa: E402
+from repro.telemetry import Tracer  # noqa: E402
+
+#: The pinned acceptance bar: tracing-on wall time / tracing-off wall
+#: time at the largest benchmarked size (median across rows).
+OVERHEAD_BAR = 1.05
+
+FAMILIES = {
+    "er": lambda n, seed: gen.erdos_renyi_graph(n, 8.0 / n, seed=seed),
+    "ba": lambda n, seed: gen.preferential_attachment_graph(n, 5, seed=seed),
+}
+
+HOSTS = 8
+
+
+def _run(protocol, graph, seed, telemetry):
+    if protocol == "one-to-one":
+        return run_one_to_one(
+            graph.copy(),
+            OneToOneConfig(
+                engine="flat", mode="lockstep", seed=seed,
+                telemetry=telemetry,
+            ),
+        )
+    return run_one_to_many(
+        graph.copy(),
+        OneToManyConfig(
+            engine="flat", mode="lockstep", seed=seed, num_hosts=HOSTS,
+            telemetry=telemetry,
+        ),
+    )
+
+
+def time_run(protocol, graph, seed, reps, telemetry):
+    """Best-of-``reps`` wall seconds; returns (secs, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = _run(protocol, graph, seed, telemetry)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _check_pure(protocol, family, n, plain, traced) -> None:
+    sp, st = plain.stats, traced.stats
+    same = (
+        traced.coreness == plain.coreness
+        and st.rounds_executed == sp.rounds_executed
+        and st.execution_time == sp.execution_time
+        and st.sends_per_round == sp.sends_per_round
+        and st.sent_per_process == sp.sent_per_process
+        and st.converged == sp.converged
+        and st.extra.get("estimates_sent_total")
+        == sp.extra.get("estimates_sent_total")
+    )
+    if not same:
+        raise AssertionError(
+            f"telemetry perturbed the replay: {protocol} on {family} n={n}"
+        )
+
+
+def bench_one(protocol, family, n, seed, reps) -> dict:
+    graph = FAMILIES[family](n, seed)
+    plain_secs, plain = time_run(protocol, graph, seed, reps, None)
+    # a fresh Tracer per run keeps buffers honest; per-run cost is what
+    # a user pays for a timeline, export excluded (one-time, off-path)
+    traced_secs, traced = time_run(
+        protocol, graph, seed, reps, Tracer()
+    )
+    _check_pure(protocol, family, n, plain, traced)
+    spans = None
+    tracer = Tracer()
+    _run(protocol, graph, seed, tracer)
+    spans = len(tracer.events())
+    return {
+        "protocol": protocol,
+        "family": family,
+        "n": graph.num_nodes,
+        "edges": graph.num_edges,
+        "hosts": HOSTS if protocol == "one-to-many" else None,
+        "rounds_executed": plain.stats.rounds_executed,
+        "spans_recorded": spans,
+        "plain_seconds": round(plain_secs, 6),
+        "traced_seconds": round(traced_secs, 6),
+        "overhead": round(traced_secs / plain_secs, 4),
+        "verified_pure": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes, purity-focused, overhead gate skipped; for CI",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="override node counts (default: 5000 20000)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "..",
+            "BENCH_telemetry.json",
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes or ([500] if args.smoke else [5000, 20000])
+    results = []
+    for n in sizes:
+        for protocol in ("one-to-one", "one-to-many"):
+            for family in FAMILIES:
+                row = bench_one(protocol, family, n, args.seed, args.reps)
+                results.append(row)
+                print(
+                    f"{protocol:>12s}/{family:<3s} n={row['n']:>6d} | "
+                    f"plain {row['plain_seconds']:7.3f}s | "
+                    f"traced {row['traced_seconds']:7.3f}s | "
+                    f"{row['overhead']:6.3f}x "
+                    f"({row['spans_recorded']} spans)",
+                    flush=True,
+                )
+
+    top_n = max(sizes)
+    at_top = sorted(
+        r["overhead"] for r in results if r["n"] >= top_n
+    )
+    median_overhead = at_top[len(at_top) // 2] if at_top else 0.0
+    gated = not args.smoke
+    if gated and median_overhead > OVERHEAD_BAR:
+        raise AssertionError(
+            f"tracing-on overhead {median_overhead:.3f}x at n={top_n} "
+            f"exceeds the pinned bar {OVERHEAD_BAR}x"
+        )
+    summary = {
+        "largest_n": top_n,
+        "median_overhead_at_largest_n": median_overhead,
+        "overhead_bar": OVERHEAD_BAR,
+        "overhead_gate_enforced": gated,
+        "all_verified_pure": all(r["verified_pure"] for r in results),
+    }
+    payload = {
+        "benchmark": (
+            "telemetry tracing-on overhead vs untraced, flat engines "
+            "(one-to-one lockstep, one-to-many lockstep 8 hosts)"
+        ),
+        "smoke": args.smoke,
+        "seed": args.seed,
+        "reps": args.reps,
+        "results": results,
+        "summary": summary,
+    }
+    out_path = os.path.abspath(args.out)
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"\nmedian tracing-on overhead at n={top_n}: "
+        f"{median_overhead:.3f}x (bar {OVERHEAD_BAR}x, "
+        f"{'enforced' if gated else 'smoke - not enforced'})"
+    )
+    print(f"-> {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

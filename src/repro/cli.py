@@ -91,6 +91,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for --checkpoint-every snapshots (required "
         "together with it)",
     )
+    dec.add_argument(
+        "--telemetry", action="store_true",
+        help="trace the run (rounds, kernel phases, and per-worker "
+        "lanes under --engine mp) and print a span summary table; a "
+        "pure observer — results are bit-identical either way",
+    )
+    dec.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the collected trace to PATH — Chrome trace-event "
+        "JSON loadable in Perfetto / chrome://tracing (or JSON Lines "
+        "when PATH ends in .jsonl); implies --telemetry",
+    )
     dec.add_argument("--seed", type=int, default=0)
     dec.add_argument("--scale", type=float, default=1.0,
                      help="dataset scale factor (synthetic datasets only)")
@@ -161,6 +173,33 @@ def _print_result(result, top: int) -> None:
     ))
 
 
+#: Algorithms whose configs accept ``telemetry`` / ``trace_out``.
+_TELEMETRY_ALGORITHMS = (
+    "one-to-one", "one-to-one-flat",
+    "one-to-many", "one-to-many-flat", "one-to-many-mp",
+)
+
+
+def _make_tracer(args: argparse.Namespace, engine_is_mp: bool):
+    """The CLI's tracer (or ``None``): built here, not in the config
+    layer, so the summary table can be printed after the run."""
+    if not (args.telemetry or args.trace_out):
+        return None
+    from repro.telemetry import Tracer
+
+    return Tracer(lane="coordinator" if engine_is_mp else "main")
+
+
+def _print_telemetry(tracer, trace_out: "str | None") -> None:
+    if tracer is None:
+        return
+    from repro.telemetry import summary_table
+
+    print(summary_table(tracer.buffers()))
+    if trace_out:
+        print(f"trace written: {trace_out}")
+
+
 def _cmd_decompose(args: argparse.Namespace) -> int:
     if args.resume is not None:
         # everything about a resumed run — graph, algorithm, engine
@@ -188,12 +227,19 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
                 )
         from repro.core.one_to_many_mp import resume_from_checkpoint
 
-        result = resume_from_checkpoint(args.resume)
+        # --telemetry/--trace-out are deliberately allowed with
+        # --resume: spans are observations, not checkpointed protocol
+        # state, so tracing the resumed portion changes nothing
+        tracer = _make_tracer(args, engine_is_mp=True)
+        result = resume_from_checkpoint(
+            args.resume, telemetry=tracer, trace_out=args.trace_out
+        )
         print(
             f"resumed: {args.resume}  nodes={len(result.coreness)}  "
             f"from_round={result.stats.extra.get('resumed_from_round')}"
         )
         _print_result(result, args.top)
+        _print_telemetry(tracer, args.trace_out)
         return 0
     if args.algorithm is None:
         args.algorithm = "one-to-one"
@@ -329,6 +375,24 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
                 f"{args.algorithm!r}: it selects flat-kernel backends "
                 "and the sequential baselines run no kernels"
             )
+    tracer = None
+    if args.telemetry or args.trace_out:
+        if args.algorithm not in _TELEMETRY_ALGORITHMS:
+            raise ConfigurationError(
+                "--telemetry/--trace-out have no meaning for algorithm "
+                f"{args.algorithm!r}: span tracing instruments the "
+                "one-to-one/one-to-many engines "
+                f"({', '.join(_TELEMETRY_ALGORITHMS)})"
+            )
+        tracer = _make_tracer(
+            args,
+            engine_is_mp=(
+                options.get("engine") == "mp"
+                or args.algorithm == "one-to-many-mp"
+            ),
+        )
+        options["telemetry"] = tracer
+        options["trace_out"] = args.trace_out
     result = decompose(graph, args.algorithm, **options)
     print(
         f"graph: {graph.name or 'stdin'}  nodes={graph.num_nodes} "
@@ -352,6 +416,7 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     print(format_table(
         ("k", "shell size"), sorted(shells.items()), title="shell sizes"
     ))
+    _print_telemetry(tracer, args.trace_out)
     return 0
 
 

@@ -40,6 +40,7 @@ from repro.graph.graph import Graph
 from repro.sim.checkpoint import CheckpointPolicy
 from repro.sim.engine import Observer, RoundEngine
 from repro.sim.node import Context, Message, Process
+from repro.telemetry import finish_run_telemetry, run_tracer
 
 __all__ = ["KCoreHost", "OneToManyConfig", "run_one_to_many", "build_host_processes"]
 
@@ -291,6 +292,21 @@ class OneToManyConfig:
     #: is; this is the sound host-level analogue). Default off.
     p2p_filter: bool = False
     observers: Sequence[Observer] = field(default_factory=tuple)
+    #: ``True``/``False`` or a :class:`repro.telemetry.Tracer`; when
+    #: enabled, the run is bracketed in spans — rounds on every engine,
+    #: kernel phases on ``engine="flat"``, and on ``engine="mp"`` a
+    #: full fleet timeline (coordinator lane + one lane per worker:
+    #: queue waits, fold/cascade, serialization, barrier skew,
+    #: checkpoint and recovery spans, shipped over the control pipes at
+    #: gather time). A pure observer: results are bit-identical with
+    #: tracing on or off. Rejected under ``engine="async"`` (no rounds
+    #: to bracket).
+    telemetry: object = None
+    #: Path for the collected trace — Chrome trace-event JSON (loadable
+    #: in Perfetto / ``chrome://tracing``; one lane per process), or
+    #: JSON Lines when the path ends in ``.jsonl``. Implies
+    #: ``telemetry=True``.
+    trace_out: str | None = None
 
 
 def build_host_processes(
@@ -382,6 +398,12 @@ def run_one_to_many(
                 "observers are round-engine hooks and are not invoked "
                 "by engine='async'; use engine='round' for traced runs"
             )
+        if config.telemetry or config.trace_out:
+            raise ConfigurationError(
+                "telemetry spans bracket rounds and kernel phases, "
+                "which engine='async' does not have; use engine='round', "
+                "'flat' or 'mp' for traced runs"
+            )
     if assignment is None:
         assignment = assign(
             graph, config.num_hosts, policy=config.policy, seed=config.seed
@@ -393,6 +415,7 @@ def run_one_to_many(
         use_worklist=config.use_worklist,
         p2p_filter=config.p2p_filter,
     )
+    tracer = run_tracer(config.telemetry, config.trace_out)
     if config.engine == "async":
         from repro.sim.async_engine import AsyncEngine
 
@@ -413,6 +436,7 @@ def run_one_to_many(
             max_rounds=max_rounds,
             strict=strict,
             observers=config.observers,
+            telemetry=tracer,
         )
         stats = engine.run()
     else:
@@ -430,6 +454,7 @@ def run_one_to_many(
     )
     stats.extra["num_hosts"] = assignment.num_hosts
     stats.extra["cut_edges"] = assignment.cut_edges(graph)
+    finish_run_telemetry(tracer, config.trace_out, stats)
     return DecompositionResult(
         coreness=coreness,
         stats=stats,

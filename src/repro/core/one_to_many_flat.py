@@ -14,9 +14,12 @@ shard build instead of an O(m) sweep over the object graph).
 ``use_worklist`` is accepted but does not select anything here: the
 flat cascade is always a worklist, and the object engine's naive /
 worklist variants compute the same fixpoint and changed set (asserted
-by the test suite), so the knob is unobservable on this path. Observers
-are rejected, as on the flat one-to-one path — fidelity features stay
-on the object engine.
+by the test suite), so the knob is unobservable on this path. Generic
+observers are rejected, as on the flat one-to-one path — fidelity
+features stay on the object engine — but
+:class:`~repro.sim.tracing.TraceRecorder` instances are fed through the
+engine's array-diff recording path, and ``config.telemetry`` /
+``config.trace_out`` enable span tracing (both pure observers).
 """
 
 from __future__ import annotations
@@ -29,6 +32,8 @@ from repro.graph.graph import Graph
 from repro.graph.sharded import ShardedCSR
 from repro.sim.flat_many_engine import FlatOneToManyEngine
 from repro.sim.kernels import resolve_backend
+from repro.sim.tracing import recorders_from_observers
+from repro.telemetry import finish_run_telemetry, run_tracer
 
 __all__ = ["run_one_to_many_flat"]
 
@@ -57,11 +62,10 @@ def run_one_to_many_flat(
     # mode/communication/p2p_filter validation lives in the engine's
     # constructor (single source of the error messages); only the knobs
     # the engine never sees are checked here
-    if config.observers:
-        raise ConfigurationError(
-            "the flat engines do not support observers; "
-            "use engine='round' for traced runs"
-        )
+    # generic observers are rejected; TraceRecorder instances pass
+    # through to the engine's array-diff recording path
+    recorders = recorders_from_observers(config.observers, "flat")
+    tracer = run_tracer(config.telemetry, config.trace_out)
     # resolved here, in the config layer, so an unknown name or a
     # missing numpy fails before any shard work starts; both modes and
     # all communication policies accept both backends
@@ -100,6 +104,8 @@ def run_one_to_many_flat(
         max_rounds=max_rounds,
         strict=strict,
         backend=backend,
+        telemetry=tracer,
+        recorders=recorders,
     )
     stats = engine.run()
 
@@ -111,6 +117,7 @@ def run_one_to_many_flat(
     )
     stats.extra["num_hosts"] = assignment.num_hosts
     stats.extra["cut_edges"] = sharded.cut_edges
+    finish_run_telemetry(tracer, config.trace_out, stats)
     return DecompositionResult(
         coreness=engine.coreness(),
         stats=stats,

@@ -16,8 +16,12 @@ Configuration contract (all rejections are loud, none silent):
 * ``mode`` must be ``"lockstep"`` — peersim's immediate randomized
   delivery is inherently sequential across processes (the engine
   explains this in its error);
-* ``observers`` are rejected (round-engine hooks cannot observe state
-  that lives in other OS processes);
+* generic ``observers`` are rejected (round-engine hooks cannot observe
+  state that lives in other OS processes);
+  :class:`~repro.sim.tracing.TraceRecorder` instances pass through —
+  workers diff their owned estimate slice per round and the coordinator
+  sums the shard aggregates, so the recorder sees the same snapshots as
+  on the object engine;
 * the *effective* host count (after resolving a precomputed
   ``assignment``) must be >= 2 — one process has nobody to message;
 * a serialization-cost guard warns (``RuntimeWarning``) when the run is
@@ -49,6 +53,8 @@ from repro.graph.sharded import ShardedCSR
 from repro.sim.checkpoint import CheckpointPolicy, load_checkpoint
 from repro.sim.faults import FaultPlan
 from repro.sim.mp_engine import MultiProcessOneToManyEngine
+from repro.sim.tracing import recorders_from_observers
+from repro.telemetry import finish_run_telemetry, run_tracer
 
 __all__ = [
     "run_one_to_many_mp",
@@ -92,12 +98,11 @@ def run_one_to_many_mp(
     from repro.core.one_to_many import OneToManyConfig
 
     config = config or OneToManyConfig(engine="mp", mode="lockstep")
-    if config.observers:
-        raise ConfigurationError(
-            "engine='mp' does not support observers: round-engine hooks "
-            "cannot observe protocol state living in other OS processes; "
-            "use engine='round' for traced runs"
-        )
+    # generic observers are rejected; TraceRecorder instances pass
+    # through — workers diff their owned slice and the coordinator sums
+    # the shard aggregates at each barrier
+    recorders = recorders_from_observers(config.observers, "mp")
+    tracer = run_tracer(config.telemetry, config.trace_out, lane="coordinator")
     if isinstance(graph, CSRGraph):
         if assignment is None:
             raise ConfigurationError(
@@ -136,6 +141,8 @@ def run_one_to_many_mp(
         reply_timeout=config.mp_reply_timeout,
         checkpoint=config.checkpoint,
         fault_plan=fault_plan,
+        telemetry=tracer,
+        recorders=recorders,
     )
     # persisted into checkpoint manifests so a resumed run reports the
     # same algorithm label without the original Graph or Assignment
@@ -168,6 +175,7 @@ def run_one_to_many_mp(
     stats.extra["pipe_bytes_per_round"] = list(engine.pipe_bytes_per_round)
     stats.extra["shard_payload_bytes"] = list(engine.shard_payload_bytes)
     _export_recovery_extra(stats, engine)
+    finish_run_telemetry(tracer, config.trace_out, stats)
     return DecompositionResult(
         coreness=engine.coreness(),
         stats=stats,
@@ -192,6 +200,8 @@ def resume_from_checkpoint(
     dir: str,
     max_rounds: "int | None" = None,
     strict: "bool | None" = None,
+    telemetry: object = None,
+    trace_out: "str | None" = None,
 ) -> DecompositionResult:
     """Restart a whole mp fleet from the checkpoint committed in ``dir``.
 
@@ -210,10 +220,13 @@ def resume_from_checkpoint(
     original run may have been truncated deliberately via
     ``fixed_rounds``); everything else — communication policy, backend,
     start method, checkpoint cadence (further checkpoints keep being
-    written to ``dir``) — comes from the manifest.
+    written to ``dir``) — comes from the manifest. ``telemetry`` /
+    ``trace_out`` trace the resumed portion of the run (spans are not
+    checkpointed — they are observations, not protocol state).
     """
     ckpt = load_checkpoint(dir)
     cfg = ckpt.config
+    tracer = run_tracer(telemetry, trace_out, lane="coordinator")
     sharded = pickle.loads(ckpt.fleet_blob)
     engine = MultiProcessOneToManyEngine(
         sharded,
@@ -227,6 +240,7 @@ def resume_from_checkpoint(
         checkpoint=CheckpointPolicy(
             every_n_rounds=cfg["checkpoint_every"], dir=dir
         ),
+        telemetry=tracer,
     )
     engine.checkpoint_meta = {"algorithm": cfg["algorithm"]}
     engine._resume = ckpt
@@ -247,6 +261,7 @@ def resume_from_checkpoint(
     stats.extra["pipe_bytes_per_round"] = list(engine.pipe_bytes_per_round)
     stats.extra["shard_payload_bytes"] = list(engine.shard_payload_bytes)
     _export_recovery_extra(stats, engine)
+    finish_run_telemetry(tracer, trace_out, stats)
     return DecompositionResult(
         coreness=engine.coreness(),
         stats=stats,

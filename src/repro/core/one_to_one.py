@@ -37,6 +37,7 @@ from repro.graph.graph import Graph
 from repro.sim.async_engine import AsyncEngine
 from repro.sim.engine import Observer, RoundEngine
 from repro.sim.node import Context, Message, Process
+from repro.telemetry import finish_run_telemetry, run_tracer
 
 __all__ = ["KCoreNode", "OneToOneConfig", "run_one_to_one", "build_node_processes"]
 
@@ -155,6 +156,17 @@ class OneToOneConfig:
         If set, stop after exactly this many rounds and return the
         (possibly approximate) estimates — the "fixed number of rounds"
         termination mode of Section 3.3.
+    telemetry:
+        ``True``/``False`` or a :class:`repro.telemetry.Tracer`; when
+        enabled, the run is bracketed in spans (rounds, kernel phases
+        on ``engine="flat"``) collectable via ``Tracer.buffers()``. A
+        pure observer — results are bit-identical with tracing on or
+        off. The async engine has no rounds to bracket, so telemetry
+        under ``engine="async"`` raises :class:`ConfigurationError`.
+    trace_out:
+        Path for the collected trace — Chrome trace-event JSON
+        (loadable in Perfetto / ``chrome://tracing``), or JSON Lines
+        when the path ends in ``.jsonl``. Implies ``telemetry=True``.
     """
 
     mode: str = "peersim"
@@ -168,6 +180,8 @@ class OneToOneConfig:
     observers: Sequence[Observer] = field(default_factory=tuple)
     latency: Callable[[random.Random], float] | None = None
     async_max_time: float = 1e6
+    telemetry: object = None
+    trace_out: str | None = None
 
 
 def build_node_processes(
@@ -217,6 +231,12 @@ def run_one_to_one(
                 "observers are round-engine hooks and are not invoked "
                 "by engine='async'; use engine='round' for traced runs"
             )
+        if config.telemetry or config.trace_out:
+            raise ConfigurationError(
+                "telemetry spans bracket rounds and kernel phases, "
+                "which engine='async' does not have; use engine='round' "
+                "or engine='flat' for traced runs"
+            )
     elif config.latency is not None:
         raise ConfigurationError(
             f"latency applies to engine='async' only, not "
@@ -256,6 +276,7 @@ def run_one_to_one(
         if config.fixed_rounds is not None:
             max_rounds = config.fixed_rounds
             strict = False
+        tracer = run_tracer(config.telemetry, config.trace_out)
         round_engine = RoundEngine(
             processes,
             mode=config.mode,
@@ -263,8 +284,10 @@ def run_one_to_one(
             max_rounds=max_rounds,
             strict=strict,
             observers=config.observers,
+            telemetry=tracer,
         )
         stats = round_engine.run()
+        finish_run_telemetry(tracer, config.trace_out, stats)
         label = f"one-to-one/{config.mode}"
     else:
         raise ConfigurationError(f"unknown engine {config.engine!r}")

@@ -7,8 +7,12 @@ Thin glue between the protocol-level API (:class:`OneToOneConfig`,
 Section-4 synchronous model) and ``mode="peersim"`` to
 :class:`FlatPeerSimEngine` (the randomized-activation cycle semantics
 of the Section-5 experiments, RNG-identical to the object engine for
-every seed). Observers are not supported — a fidelity feature of the
-object engine; see the flat-engine module docstring for the tradeoff.
+every seed). Generic observers are not supported — a fidelity feature
+of the object engine — but :class:`~repro.sim.tracing.TraceRecorder`
+instances in ``config.observers`` are fed through the engines'
+array-diff recording path, and ``config.telemetry`` /
+``config.trace_out`` enable span tracing; both are pure observers (see
+the flat-engine module docstring for the tradeoff).
 """
 
 from __future__ import annotations
@@ -19,6 +23,8 @@ from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.sim.flat_engine import FlatOneToOneEngine, FlatPeerSimEngine
 from repro.sim.kernels import resolve_backend
+from repro.sim.tracing import recorders_from_observers
+from repro.telemetry import finish_run_telemetry, run_tracer
 
 __all__ = ["run_one_to_one_flat"]
 
@@ -46,11 +52,10 @@ def run_one_to_one_flat(
             f"unknown engine mode {config.mode!r}; the flat engine "
             "replays 'lockstep' or 'peersim' semantics"
         )
-    if config.observers:
-        raise ConfigurationError(
-            "the flat engines do not support observers; "
-            "use engine='round' for traced runs"
-        )
+    # generic observers are rejected; TraceRecorder instances pass
+    # through to the engines' array-diff recording path
+    recorders = recorders_from_observers(config.observers, "flat")
+    tracer = run_tracer(config.telemetry, config.trace_out)
     # resolved here, in the config layer, so an unknown name or a
     # missing numpy fails before any engine work starts
     backend = resolve_backend(config.backend)
@@ -87,6 +92,8 @@ def run_one_to_one_flat(
             max_rounds=max_rounds,
             strict=strict,
             activation_ids=activation_ids,
+            telemetry=tracer,
+            recorders=recorders,
         )
     else:
         engine = FlatOneToOneEngine(
@@ -95,8 +102,11 @@ def run_one_to_one_flat(
             max_rounds=max_rounds,
             strict=strict,
             backend=backend,
+            telemetry=tracer,
+            recorders=recorders,
         )
     stats = engine.run()
+    finish_run_telemetry(tracer, config.trace_out, stats)
     return DecompositionResult(
         coreness=engine.coreness(),
         stats=stats,

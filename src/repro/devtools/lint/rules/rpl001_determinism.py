@@ -19,7 +19,15 @@ patrols the semantics-bearing packages — ``sim/``, ``graph/``,
   ``t0`` / ``start`` deltas, barrier timestamps and timeout deadlines
   are telemetry and failure detection, not semantics — so reads
   assigned to telemetry-named targets (or compared against deadlines /
-  passed as timeouts) pass; anything else is assumed to feed results;
+  passed as timeouts) pass; anything else is assumed to feed results.
+  :mod:`repro.telemetry` is the *sanctioned* wall-clock sink: the span
+  tracer and its exporters exist to hold timestamps, so clock reads
+  there pass unconditionally — it is the one place outside
+  telemetry-named stats fields where the clock may be read. The
+  package is still patrolled for everything else (unseeded RNG,
+  ``hash()`` / ``id()``, set iteration order): its buffers ride the mp
+  control pipes and its merge order is part of the deterministic
+  trace contract;
 * ``hash()`` / ``id()`` calls — both vary across interpreter runs
   (PYTHONHASHSEED, allocator), so neither may influence comparisons,
   ordering or message payloads;
@@ -51,8 +59,15 @@ CODE = "RPL001"
 
 #: Packages whose modules bear replay semantics.
 _SEMANTIC_RE = re.compile(
-    r"(^|/)repro/(sim|graph|baselines|pregel|streaming|generalized)(/|$)"
+    r"(^|/)repro/"
+    r"(sim|graph|baselines|pregel|streaming|generalized|telemetry)(/|$)"
 )
+
+#: The sanctioned wall-clock sink: span tracing exists to hold
+#: timestamps, so clock reads inside the telemetry package pass. Every
+#: other RPL001 check (RNG, hash/id, set order) still applies there —
+#: span buffers cross process boundaries and merge deterministically.
+_CLOCK_SINK_RE = re.compile(r"(^|/)repro/telemetry(/|$)")
 
 #: Assignment targets / dict keys / kwarg names that mark a wall-clock
 #: read as telemetry (time *measurement*), not semantics.
@@ -91,6 +106,11 @@ def is_semantics_path(path: str) -> bool:
     if "/devtools/" in norm:
         return False
     return _SEMANTIC_RE.search(norm) is not None
+
+
+def is_clock_sink_path(path: str) -> bool:
+    """True inside :mod:`repro.telemetry`, the sanctioned clock sink."""
+    return _CLOCK_SINK_RE.search(path.replace("\\", "/")) is not None
 
 
 def _is_telemetry_name(name: str) -> bool:
@@ -398,6 +418,7 @@ def check(src: SourceFile) -> Iterable[Finding]:
     if not is_semantics_path(src.path):
         return []
     findings: list[Finding] = []
+    clock_sink = is_clock_sink_path(src.path)
     imports = _ModuleImports(src.tree)
     parents = build_parents(src.tree)
     for node in ast.walk(src.tree):
@@ -448,7 +469,11 @@ def check(src: SourceFile) -> Iterable[Finding]:
             )
         # -- wall clock -----------------------------------------------
         clock = _time_call_kind(node, imports)
-        if clock is not None and not _time_flows_to_telemetry(node, parents):
+        if (
+            clock is not None
+            and not clock_sink
+            and not _time_flows_to_telemetry(node, parents)
+        ):
             findings.append(
                 Finding(
                     CODE,

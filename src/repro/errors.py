@@ -52,6 +52,11 @@ class ConfigurationError(ReproError):
     """Invalid run configuration (bad host count, unknown policy...)."""
 
 
+class TelemetryError(ReproError):
+    """A telemetry schema violation: an unregistered or ill-typed
+    ``stats.extra`` key, or an invalid tracer/export configuration."""
+
+
 class CheckpointError(ReproError):
     """A checkpoint could not be written, found, or restored."""
 

@@ -36,6 +36,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 from repro.errors import ConvergenceError, SimulationError
 from repro.sim.metrics import SimulationStats
 from repro.sim.node import Message, Process
+from repro.telemetry.spans import resolve_tracer
 from repro.utils.rng import make_rng
 
 __all__ = ["RoundEngine"]
@@ -84,6 +85,11 @@ class RoundEngine:
         Callables invoked as ``observer(round_number, engine)`` after
         every executed round — used for error traces and completion
         tables.
+    telemetry:
+        ``True``/``False`` or a :class:`repro.telemetry.Tracer`; when
+        enabled, every executed round is bracketed in a ``"round"``
+        span. Tracing is a pure observer — it never affects delivery
+        order, sends, or termination.
     """
 
     def __init__(
@@ -94,6 +100,7 @@ class RoundEngine:
         max_rounds: int = 1_000_000,
         strict: bool = True,
         observers: Sequence[Observer] = (),
+        telemetry: object = None,
     ) -> None:
         if isinstance(processes, Mapping):
             self.processes: dict[int, Process] = dict(processes)
@@ -106,6 +113,7 @@ class RoundEngine:
         self.max_rounds = max_rounds
         self.strict = strict
         self.observers = list(observers)
+        self.tracer = resolve_tracer(telemetry)
         self.round = 0
         self.stats = SimulationStats()
         self._ctx = _RoundContext(self)
@@ -155,10 +163,11 @@ class RoundEngine:
         # Round 1: initialisation broadcasts.
         self.round = 1
         self._sends_this_round = 0
-        for pid in self._activation_order():
-            ctx.pid = pid
-            self.processes[pid].on_init(ctx)
-        self._finish_round()
+        with self.tracer.span("round", round=1):
+            for pid in self._activation_order():
+                ctx.pid = pid
+                self.processes[pid].on_init(ctx)
+            self._finish_round()
 
         while True:
             if self._sends_last_round == 0 and not self._pending_mail():
@@ -172,22 +181,24 @@ class RoundEngine:
                 return self.stats
             self.round += 1
             self._sends_this_round = 0
-            if self.mode == "lockstep":
-                # flip buffers: last round's sends become this round's mail
-                self._mailboxes, self._next_mailboxes = (
-                    self._next_mailboxes,
-                    self._mailboxes,
-                )
-            for pid in self._activation_order():
-                ctx.pid = pid
-                process = self.processes[pid]
-                mailbox = self._mailboxes[pid]
-                if mailbox:
-                    self._mailboxes[pid] = []
-                    self._pending_messages -= len(mailbox)
-                    process.on_messages(ctx, mailbox)
-                process.on_round(ctx)
-            self._finish_round()
+            with self.tracer.span("round", round=self.round):
+                if self.mode == "lockstep":
+                    # flip buffers: last round's sends become this
+                    # round's mail
+                    self._mailboxes, self._next_mailboxes = (
+                        self._next_mailboxes,
+                        self._mailboxes,
+                    )
+                for pid in self._activation_order():
+                    ctx.pid = pid
+                    process = self.processes[pid]
+                    mailbox = self._mailboxes[pid]
+                    if mailbox:
+                        self._mailboxes[pid] = []
+                        self._pending_messages -= len(mailbox)
+                        process.on_messages(ctx, mailbox)
+                    process.on_round(ctx)
+                self._finish_round()
 
         self.stats.rounds_executed = self.round
         self.stats.wall_seconds = _time.perf_counter() - start

@@ -63,9 +63,16 @@ activation order *is* observable, so the flat engine replays it
 verbatim from the shared RNG stream.
 
 **When is each selected?** ``run_one_to_one(engine="flat")`` routes
-here, choosing the class by ``config.mode``; observers are not
-supported (use the object engine for traced runs, failure injection, or
-the async engine — i.e. fidelity features over throughput).
+here, choosing the class by ``config.mode``. Generic observers are not
+supported (use the object engine for per-round callbacks, failure
+injection, or the async engine — i.e. fidelity features over
+throughput); the two sanctioned pure observers are supported natively:
+``telemetry=`` brackets rounds and kernel phases in
+:mod:`repro.telemetry` spans, and ``recorders=`` feeds
+:class:`~repro.sim.tracing.TraceRecorder` instances the same per-round
+aggregates the object engine's observer path produces (array diff per
+round, only when a recorder is attached). Neither can perturb the
+replay: both are write-only sinks the protocol never reads back.
 """
 
 from __future__ import annotations
@@ -80,6 +87,8 @@ from repro.errors import ConvergenceError, SimulationError
 from repro.graph.csr import CSRGraph
 from repro.sim.kernels import KernelBackend, export_send_counts, resolve_backend
 from repro.sim.metrics import SimulationStats
+from repro.sim.tracing import record_flat_round, reference_slice
+from repro.telemetry.spans import resolve_tracer
 from repro.utils.rng import make_rng
 
 __all__ = ["FlatOneToOneEngine", "FlatPeerSimEngine"]
@@ -107,6 +116,8 @@ class FlatOneToOneEngine:
         "backend",
         "core",
         "stats",
+        "tracer",
+        "recorders",
     )
 
     def __init__(
@@ -116,6 +127,8 @@ class FlatOneToOneEngine:
         max_rounds: int = 1_000_000,
         strict: bool = True,
         backend: "str | KernelBackend" = "stdlib",
+        telemetry: object = None,
+        recorders: Sequence = (),
     ) -> None:
         self.csr = csr
         self.optimize_sends = optimize_sends
@@ -124,6 +137,12 @@ class FlatOneToOneEngine:
         self.backend = resolve_backend(backend)
         self.core = self.backend.full(0)
         self.stats = SimulationStats()
+        # telemetry and recorders are pure observers: with telemetry
+        # disabled the tracer is the shared no-op singleton and with no
+        # recorders the per-round diff never runs, so the replay hot
+        # loop is untouched in the default configuration
+        self.tracer = resolve_tracer(telemetry)
+        self.recorders = list(recorders)
 
     # ------------------------------------------------------------------
     def coreness(self) -> dict[int, int]:
@@ -153,6 +172,8 @@ class FlatOneToOneEngine:
         kb = self.backend
         csr = self.csr
         stats = self.stats
+        tracer = self.tracer
+        recorders = self.recorders
         n = csr.num_nodes
         offsets = kb.graph_array(csr.offsets)
         targets = kb.graph_array(csr.targets)
@@ -181,12 +202,17 @@ class FlatOneToOneEngine:
         # from the CSR offsets.
         rnd = 1
         sends = num_slots
-        degree = kb.degrees(offsets, n)
-        core[:] = degree
-        sent[:] = degree
+        with tracer.span("round", round=1):
+            degree = kb.degrees(offsets, n)
+            core[:] = degree
+            sent[:] = degree
         stats.sends_per_round.append(sends)
         if sends:
             stats.execution_time += 1
+        if recorders:
+            prev = [-1] * n
+            refs = [reference_slice(r.reference, csr.ids) for r in recorders]
+            record_flat_round(recorders, refs, rnd, sends, core, prev)
 
         seeded = False
         slots = None
@@ -200,23 +226,34 @@ class FlatOneToOneEngine:
                     raise ConvergenceError(rnd)
                 return stats
             rnd += 1
-            if not seeded:
-                # Round 2: every slot carries its sender's degree.
-                seeded = True
-                frontier = kb.seed_estimates(
-                    offsets, targets, owner, degree, est, sup, in_frontier
-                )
-            else:
-                frontier = kb.fold_slots(
-                    slots, incoming, est, owner, core, sup, in_frontier
-                )
-            sends, slots = kb.process_frontier(
-                frontier, offsets, targets, mirror, est, core, sup,
-                incoming, sent, optimize, scratch, in_frontier,
-            )
+            with tracer.span("round", round=rnd) as round_span:
+                if not seeded:
+                    # Round 2: every slot carries its sender's degree.
+                    seeded = True
+                    with tracer.span("kernel.seed_estimates"):
+                        frontier = kb.seed_estimates(
+                            offsets, targets, owner, degree, est, sup,
+                            in_frontier,
+                        )
+                else:
+                    with tracer.span("kernel.fold_slots"):
+                        frontier = kb.fold_slots(
+                            slots, incoming, est, owner, core, sup,
+                            in_frontier,
+                        )
+                with tracer.span("kernel.process_frontier"):
+                    sends, slots = kb.process_frontier(
+                        frontier, offsets, targets, mirror, est, core, sup,
+                        incoming, sent, optimize, scratch, in_frontier,
+                    )
+                round_span.note(sends=int(sends))
             stats.sends_per_round.append(int(sends))
             if sends:
                 stats.execution_time += 1
+            if recorders:
+                record_flat_round(
+                    recorders, refs, rnd, int(sends), core, prev
+                )
 
         stats.rounds_executed = rnd
         export_send_counts(stats, sent, csr.ids)
@@ -264,6 +301,8 @@ class FlatPeerSimEngine:
         "strict",
         "core",
         "stats",
+        "tracer",
+        "recorders",
         "_base_order",
     )
 
@@ -275,6 +314,8 @@ class FlatPeerSimEngine:
         max_rounds: int = 1_000_000,
         strict: bool = True,
         activation_ids: Sequence[int] | None = None,
+        telemetry: object = None,
+        recorders: Sequence = (),
     ) -> None:
         self.csr = csr
         self.seed = seed
@@ -283,6 +324,11 @@ class FlatPeerSimEngine:
         self.strict = strict
         self.core: array = array("q")
         self.stats = SimulationStats()
+        # pure observers, as in the lockstep engine: the inherently
+        # sequential per-activation loop is never bracketed — only the
+        # round boundaries are, so tracing costs one span per round
+        self.tracer = resolve_tracer(telemetry)
+        self.recorders = list(recorders)
         if activation_ids is None:
             self._base_order = list(range(csr.num_nodes))
         else:
@@ -323,6 +369,8 @@ class FlatPeerSimEngine:
         start = _time.perf_counter()
         csr = self.csr
         stats = self.stats
+        tracer = self.tracer
+        recorders = self.recorders
         n = csr.num_nodes
         offsets = csr.offsets
         targets = csr.targets
@@ -354,18 +402,23 @@ class FlatPeerSimEngine:
         rnd = 1
         sends = num_slots
         pending = num_slots
-        for v in range(n):
-            lo = offsets[v]
-            hi = offsets[v + 1]
-            core[v] = sup[v] = sent[v] = hi - lo
-            if hi > lo:
-                mail[v] = list(range(lo, hi))
-        degree = array("q", core)
-        for e in range(num_slots):
-            incoming[e] = degree[targets[e]]
+        with tracer.span("round", round=1):
+            for v in range(n):
+                lo = offsets[v]
+                hi = offsets[v + 1]
+                core[v] = sup[v] = sent[v] = hi - lo
+                if hi > lo:
+                    mail[v] = list(range(lo, hi))
+            degree = array("q", core)
+            for e in range(num_slots):
+                incoming[e] = degree[targets[e]]
         stats.sends_per_round.append(sends)
         if sends:
             stats.execution_time += 1
+        if recorders:
+            prev = [-1] * n
+            refs = [reference_slice(r.reference, csr.ids) for r in recorders]
+            record_flat_round(recorders, refs, rnd, sends, core, prev)
 
         while sends or pending:
             if rnd >= self.max_rounds:
@@ -378,46 +431,50 @@ class FlatPeerSimEngine:
                 return stats
             rnd += 1
             sends = 0
-            order = base[:]
-            shuffle(order)
-            for v in order:
-                box = mail[v]
-                if not box:
-                    continue
-                pending -= len(box)
-                k = core[v]
-                s = sup[v]
-                for slot in box:
-                    value = incoming[slot]
-                    old = est[slot]
-                    if value < old:
-                        est[slot] = value
-                        if old >= k and value < k:
-                            s -= 1
-                box.clear()
-                sup[v] = s
-                if s < k:
-                    lo = offsets[v]
-                    hi = offsets[v + 1]
-                    t = _compute_index(est_view[lo:hi], k, scratch)
-                    sup[v] = scratch[t]
-                    if t < k:
-                        core[v] = t
-                        count = 0
-                        for e in range(lo, hi):
-                            if optimize and t >= est[e]:
-                                continue
-                            slot = mirror[e]
-                            incoming[slot] = t
-                            mail[targets[e]].append(slot)
-                            count += 1
-                        if count:
-                            sent[v] += count
-                            sends += count
-                            pending += count
+            with tracer.span("round", round=rnd) as round_span:
+                order = base[:]
+                shuffle(order)
+                for v in order:
+                    box = mail[v]
+                    if not box:
+                        continue
+                    pending -= len(box)
+                    k = core[v]
+                    s = sup[v]
+                    for slot in box:
+                        value = incoming[slot]
+                        old = est[slot]
+                        if value < old:
+                            est[slot] = value
+                            if old >= k and value < k:
+                                s -= 1
+                    box.clear()
+                    sup[v] = s
+                    if s < k:
+                        lo = offsets[v]
+                        hi = offsets[v + 1]
+                        t = _compute_index(est_view[lo:hi], k, scratch)
+                        sup[v] = scratch[t]
+                        if t < k:
+                            core[v] = t
+                            count = 0
+                            for e in range(lo, hi):
+                                if optimize and t >= est[e]:
+                                    continue
+                                slot = mirror[e]
+                                incoming[slot] = t
+                                mail[targets[e]].append(slot)
+                                count += 1
+                            if count:
+                                sent[v] += count
+                                sends += count
+                                pending += count
+                round_span.note(sends=sends)
             stats.sends_per_round.append(sends)
             if sends:
                 stats.execution_time += 1
+            if recorders:
+                record_flat_round(recorders, refs, rnd, sends, core, prev)
 
         stats.rounds_executed = rnd
         export_send_counts(stats, sent, csr.ids)

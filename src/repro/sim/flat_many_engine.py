@@ -62,8 +62,15 @@ and ``tests/test_backend_equivalence.py`` asserts stdlib/numpy
 bit-identity on the same grid.
 
 **When is it selected?** ``run_one_to_many(engine="flat")`` routes here
-via :mod:`repro.core.one_to_many_flat`. Observers are not supported —
-use the object engine for traced runs (fidelity over throughput).
+via :mod:`repro.core.one_to_many_flat`. Generic observers are not
+supported — use the object engine for arbitrary per-round callbacks —
+but the two sanctioned pure observers are: ``telemetry=`` brackets
+rounds and per-shard kernel phases in :mod:`repro.telemetry` spans, and
+``recorders=`` feeds :class:`~repro.sim.tracing.TraceRecorder`
+instances per-round node-level aggregates (owned-estimate diffs and
+residual error — strictly more informative than observing object
+``KCoreHost`` processes, which expose no per-node ``core``). Both are
+write-only sinks the protocol never reads back.
 """
 
 from __future__ import annotations
@@ -71,11 +78,14 @@ from __future__ import annotations
 import random
 import time as _time
 from array import array
+from typing import Sequence
 
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.graph.sharded import ShardedCSR
 from repro.sim.kernels import KernelBackend, export_send_counts, resolve_backend
 from repro.sim.metrics import SimulationStats
+from repro.sim.tracing import diff_round, reference_slice
+from repro.telemetry.spans import resolve_tracer
 from repro.utils.rng import make_rng
 
 __all__ = ["FlatOneToManyEngine"]
@@ -108,6 +118,14 @@ class FlatOneToManyEngine:
         communication policies support ``"stdlib"`` and ``"numpy"`` —
         the per-shard batches are vectorisable regardless of the host
         activation order, which stays in this engine.
+    telemetry:
+        ``True``/``False`` or a :class:`repro.telemetry.Tracer`; spans
+        bracket each round and each per-shard kernel phase
+        (``kernel.seed_shard`` / ``kernel.fold_mailbox`` /
+        ``kernel.cascade`` / ``emit``). Pure observer.
+    recorders:
+        :class:`~repro.sim.tracing.TraceRecorder` instances fed
+        node-level per-round aggregates (see module docstring).
 
     After :meth:`run`, :attr:`estimates_sent` holds the Figure-5
     overhead numerator per host and :meth:`coreness` the result.
@@ -124,6 +142,8 @@ class FlatOneToManyEngine:
         "backend",
         "stats",
         "estimates_sent",
+        "tracer",
+        "recorders",
         "_est",
     )
 
@@ -137,6 +157,8 @@ class FlatOneToManyEngine:
         max_rounds: int = 1_000_000,
         strict: bool = True,
         backend: "str | KernelBackend" = "stdlib",
+        telemetry: object = None,
+        recorders: Sequence = (),
     ) -> None:
         if communication not in ("broadcast", "p2p"):
             raise ConfigurationError(
@@ -161,6 +183,10 @@ class FlatOneToManyEngine:
         self.stats = SimulationStats()
         #: Figure-5 overhead numerator per host (filled by :meth:`run`).
         self.estimates_sent: array = array("q")
+        # pure observers: the no-op tracer and an empty recorder list
+        # leave the replay loop untouched (see flat_engine)
+        self.tracer = resolve_tracer(telemetry)
+        self.recorders = list(recorders)
         self._est: list = []
 
     # ------------------------------------------------------------------
@@ -188,6 +214,8 @@ class FlatOneToManyEngine:
         start = _time.perf_counter()
         kb = self.backend
         stats = self.stats
+        tracer = self.tracer
+        recorders = self.recorders
         sharded = self.sharded
         shards = sharded.shards
         num_hosts = sharded.num_hosts
@@ -328,18 +356,21 @@ class FlatOneToManyEngine:
             shard = shards[x]
             est = est_list[x]
             n_owned = shard.n_owned
-            dirty = kb.seed_shard(
-                sh_offsets[x], sh_targets[x], n_owned, shard.n_ext,
-                INFINITY_INT, est, sup_list[x], queued[x],
-            )
-            if len(dirty):
-                kb.cascade(
-                    sh_offsets[x], sh_targets[x], n_owned, est,
-                    sup_list[x], dirty, queued[x], changed_flag[x],
-                    changed_lists[x], scratch,
+            with tracer.span("kernel.seed_shard", host=x):
+                dirty = kb.seed_shard(
+                    sh_offsets[x], sh_targets[x], n_owned, shard.n_ext,
+                    INFINITY_INT, est, sup_list[x], queued[x],
                 )
+            if len(dirty):
+                with tracer.span("kernel.cascade", host=x):
+                    kb.cascade(
+                        sh_offsets[x], sh_targets[x], n_owned, est,
+                        sup_list[x], dirty, queued[x], changed_flag[x],
+                        changed_lists[x], scratch,
+                    )
             # the initial message carries *all* owned estimates
-            emit(x, [(u, int(est[u])) for u in range(n_owned)])
+            with tracer.span("emit", host=x):
+                emit(x, [(u, int(est[u])) for u in range(n_owned)])
             flags = changed_flag[x]
             for u in changed_lists[x]:
                 flags[u] = 0
@@ -357,25 +388,60 @@ class FlatOneToManyEngine:
                 mb_msgs[x] = 0
                 slots = mb_slots[x]
                 vals = mb_vals[x]
-                dirty = kb.fold_mailbox(
-                    slots, vals, n_owned, est, sup_list[x],
-                    sh_watch_offsets[x], sh_watch_targets[x], queued[x],
-                )
+                with tracer.span("kernel.fold_mailbox", host=x):
+                    dirty = kb.fold_mailbox(
+                        slots, vals, n_owned, est, sup_list[x],
+                        sh_watch_offsets[x], sh_watch_targets[x], queued[x],
+                    )
                 slots.clear()
                 vals.clear()
                 if len(dirty):
-                    kb.cascade(
-                        sh_offsets[x], sh_targets[x], n_owned, est,
-                        sup_list[x], dirty, queued[x], changed_flag[x],
-                        changed_lists[x], scratch,
-                    )
+                    with tracer.span("kernel.cascade", host=x):
+                        kb.cascade(
+                            sh_offsets[x], sh_targets[x], n_owned, est,
+                            sup_list[x], dirty, queued[x], changed_flag[x],
+                            changed_lists[x], scratch,
+                        )
             clist = changed_lists[x]
             if clist:
-                emit(x, [(u, int(est[u])) for u in clist])
+                with tracer.span("emit", host=x):
+                    emit(x, [(u, int(est[u])) for u in clist])
                 flags = changed_flag[x]
                 for u in clist:
                     flags[u] = 0
                 clist.clear()
+
+        # recorder state: per-shard prev copies of the owned estimates
+        # plus per-(shard, recorder) reference slices — allocated only
+        # when a recorder is attached
+        if recorders:
+            ids = sharded.csr.ids
+            prev_lists = [[-1] * s.n_owned for s in shards]
+            refs_by_shard = [
+                [
+                    reference_slice(
+                        rec.reference, [ids[g] for g in s.owned_global]
+                    )
+                    for rec in recorders
+                ]
+                for s in shards
+            ]
+
+        def record_round(round_number: int, round_sends: int) -> None:
+            changed = 0
+            errors: "list[int | None]" = [
+                0 if rec.reference is not None else None for rec in recorders
+            ]
+            for x in range(num_hosts):
+                shard_changed, shard_errors = diff_round(
+                    est_list[x], prev_lists[x], refs_by_shard[x]
+                )
+                changed += shard_changed
+                for j, err in enumerate(shard_errors):
+                    if err is not None:
+                        errors[j] += err
+            for rec, err in zip(recorders, errors):
+                rec.record(round_number, round_sends, changed, err)
 
         # -- round 1: on_init in activation order. Under peersim the
         # shuffle still runs (keeping the RNG stream aligned with the
@@ -387,11 +453,14 @@ class FlatOneToManyEngine:
             rng.shuffle(order)
         else:
             order = base
-        for x in order:
-            on_init(x)
+        with tracer.span("round", round=1):
+            for x in order:
+                on_init(x)
         stats.sends_per_round.append(sends)
         if sends:
             stats.execution_time += 1
+        if recorders:
+            record_round(rnd, sends)
 
         while sends or pending:
             if rnd >= self.max_rounds:
@@ -404,20 +473,25 @@ class FlatOneToManyEngine:
                 return stats
             rnd += 1
             sends = 0
-            if peersim:
-                order = base[:]
-                rng.shuffle(order)
-            else:
-                # flip buffers: last round's sends become this round's
-                # mail (the previous live buffers were fully drained)
-                mb_slots, in_slots = in_slots, mb_slots
-                mb_vals, in_vals = in_vals, mb_vals
-                mb_msgs, in_msgs = in_msgs, mb_msgs
-            for x in order:
-                activate(x)
+            with tracer.span("round", round=rnd) as round_span:
+                if peersim:
+                    order = base[:]
+                    rng.shuffle(order)
+                else:
+                    # flip buffers: last round's sends become this
+                    # round's mail (the previous live buffers were
+                    # fully drained)
+                    mb_slots, in_slots = in_slots, mb_slots
+                    mb_vals, in_vals = in_vals, mb_vals
+                    mb_msgs, in_msgs = in_msgs, mb_msgs
+                for x in order:
+                    activate(x)
+                round_span.note(sends=sends)
             stats.sends_per_round.append(sends)
             if sends:
                 stats.execution_time += 1
+            if recorders:
+                record_round(rnd, sends)
 
         stats.rounds_executed = rnd
         export_send_counts(stats, sent_msgs)

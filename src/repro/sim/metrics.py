@@ -62,5 +62,46 @@ class SimulationStats:
             f"rounds={self.execution_time} (executed {self.rounds_executed}), "
             f"messages={self.total_messages} "
             f"(avg {self.messages_avg:.2f}/node, max {self.messages_max}), "
-            f"converged={self.converged}"
+            f"converged={self.converged}, "
+            f"wall={self.wall_seconds:.3f}s"
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot of every field (including ``extra``).
+
+        Round-trips through :meth:`from_dict`; benchmark harnesses and
+        the telemetry exporters persist stats this way. ``extra`` is
+        included as-is — every registered key is JSON-serialisable by
+        schema (:mod:`repro.telemetry.registry`).
+        """
+        return {
+            "rounds_executed": self.rounds_executed,
+            "execution_time": self.execution_time,
+            "total_messages": self.total_messages,
+            # JSON objects have string keys; from_dict restores ints
+            "sent_per_process": {
+                str(pid): count for pid, count in self.sent_per_process.items()
+            },
+            "sends_per_round": list(self.sends_per_round),
+            "converged": self.converged,
+            "wall_seconds": self.wall_seconds,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationStats":
+        """Rebuild stats from :meth:`to_dict` output (or parsed JSON)."""
+        return cls(
+            rounds_executed=payload["rounds_executed"],
+            execution_time=payload["execution_time"],
+            total_messages=payload["total_messages"],
+            sent_per_process={
+                int(pid): count
+                for pid, count in payload["sent_per_process"].items()
+            },
+            sends_per_round=list(payload["sends_per_round"]),
+            converged=payload["converged"],
+            wall_seconds=payload["wall_seconds"],
+            extra=dict(payload["extra"]),
         )

@@ -127,6 +127,9 @@ from repro.sim.checkpoint import CheckpointPolicy, CheckpointWriter
 from repro.sim.faults import KILL_EXIT_CODE, FaultPlan, WorkerFaults
 from repro.sim.kernels import export_send_counts, resolve_backend
 from repro.sim.metrics import SimulationStats
+from repro.sim.tracing import diff_round, reference_slice
+from repro.telemetry.merge import merge_worker_buffers
+from repro.telemetry.spans import NULL_TRACER, Tracer, resolve_tracer
 
 __all__ = [
     "MultiProcessOneToManyEngine",
@@ -149,6 +152,7 @@ _EXIT = 3  # leave the command loop
 _CHECKPOINT = 4  # drain next-round mail into the backlog, snapshot state
 _RESEND = 5  # re-put buffered payloads for one recipient (recovery)
 _REPLAY = 6  # deterministically re-execute missed rounds (recovery)
+_TELEMETRY = 7  # ship the worker-local span buffer (gather time)
 
 
 def default_reply_timeout(num_nodes: int, workers: int) -> float:
@@ -200,6 +204,7 @@ class _ShardWorker:
         inboxes,
         resilient: bool = False,
         faults: "WorkerFaults | None" = None,
+        tracer=NULL_TRACER,
     ) -> None:
         kb = resolve_backend(backend)
         self.kb = kb
@@ -234,6 +239,44 @@ class _ShardWorker:
         #: payload), ...]}``, kept only when ``resilient`` and pruned at
         #: every checkpoint — the replay window a recovery can need
         self.resend: dict[int, list] = {}
+        #: worker-local span buffer (pure observer; NULL_TRACER when
+        #: telemetry is off, so the hot path pays one attribute lookup)
+        self.tracer = tracer
+        #: TraceRecorder feeding state: reference slices over the owned
+        #: nodes and the previous round's values (None = not recording)
+        self.record_refs: "list[list[int] | None] | None" = None
+        self.record_prev: "list[int] | None" = None
+
+    def enable_recording(
+        self, refs: "list[list[int] | None]", restored: bool
+    ) -> None:
+        """Arm the per-round array diff shipped with the round reports.
+
+        ``prev`` after any recorded round equals the owned estimate
+        slice exactly (the diff copies every changed value), so a
+        restored worker reseeds it from the adopted snapshot's
+        estimates; a fresh worker seeds ``-1`` so round 1 counts every
+        node (the observer path's first-observation rule).
+        """
+        self.record_refs = refs
+        if restored:
+            est = self.est
+            self.record_prev = [int(est[u]) for u in range(self.shard.n_owned)]
+        else:
+            self.record_prev = [-1] * self.shard.n_owned
+
+    def record_diff(self) -> "tuple | None":
+        """One round's ``(changed, errors)`` aggregate, or ``None``."""
+        if self.record_refs is None:
+            return None
+        return diff_round(self.est, self.record_prev, self.record_refs)
+
+    def resync_record_prev(self) -> None:
+        """Re-align ``prev`` with the estimates after a recovery replay
+        (equivalent to having diffed every replayed round)."""
+        if self.record_prev is not None:
+            est = self.est
+            self.record_prev = [int(est[u]) for u in range(self.shard.n_owned)]
 
     def _inbox_get(self, inbox) -> bytes:
         """Receive one payload from this worker's inbox.
@@ -360,22 +403,24 @@ class _ShardWorker:
         nbytes = 0
         inboxes = self.inboxes
         faults = self.faults
-        for y in dests:
-            payload = pickle.dumps(
-                (deliver_round, x, out_slots.get(y, ()), out_vals.get(y, ())),
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
-            nbytes += len(payload)
-            if self.resilient:
-                self.resend.setdefault(y, []).append((deliver_round, payload))
-            if transport:
-                # the emitting round is deliver_round - 1 (lockstep)
-                if (
-                    faults is None
-                    or faults.on_transport(deliver_round - 1, y) != "drop"
-                ):
-                    inboxes[y].put(payload)
-            per_dest[y] = 1
+        with self.tracer.span("emit.serialize", dests=len(dests)) as span:
+            for y in dests:
+                payload = pickle.dumps(
+                    (deliver_round, x, out_slots.get(y, ()), out_vals.get(y, ())),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                nbytes += len(payload)
+                if self.resilient:
+                    self.resend.setdefault(y, []).append((deliver_round, payload))
+                if transport:
+                    # the emitting round is deliver_round - 1 (lockstep)
+                    if (
+                        faults is None
+                        or faults.on_transport(deliver_round - 1, y) != "drop"
+                    ):
+                        inboxes[y].put(payload)
+                per_dest[y] = 1
+            span.note(nbytes=nbytes)
         return len(dests), per_dest, nbytes
 
     def prune_resend(self, through_round: int) -> None:
@@ -392,16 +437,18 @@ class _ShardWorker:
         shard = self.shard
         est = self.est
         n_owned = shard.n_owned
-        dirty = self.kb.seed_shard(
-            self.offsets, self.targets, n_owned, shard.n_ext,
-            self.infinity, est, self.sup, self.queued,
-        )
-        if len(dirty):
-            self.kb.cascade(
-                self.offsets, self.targets, n_owned, est, self.sup,
-                dirty, self.queued, self.changed_flag, self.changed_list,
-                self.scratch,
+        with self.tracer.span("kernel.seed_shard"):
+            dirty = self.kb.seed_shard(
+                self.offsets, self.targets, n_owned, shard.n_ext,
+                self.infinity, est, self.sup, self.queued,
             )
+        if len(dirty):
+            with self.tracer.span("kernel.cascade"):
+                self.kb.cascade(
+                    self.offsets, self.targets, n_owned, est, self.sup,
+                    dirty, self.queued, self.changed_flag, self.changed_list,
+                    self.scratch,
+                )
         # the initial message carries *all* owned estimates
         report = self._emit(
             deliver_round, [(u, int(est[u])) for u in range(n_owned)],
@@ -429,16 +476,18 @@ class _ShardWorker:
             for _rnd, _sender, bslots, bvals in batches:
                 slots.extend(bslots)
                 vals.extend(bvals)
-            dirty = self.kb.fold_mailbox(
-                slots, vals, n_owned, est, self.sup,
-                self.watch_offsets, self.watch_targets, self.queued,
-            )
-            if len(dirty):
-                self.kb.cascade(
-                    self.offsets, self.targets, n_owned, est, self.sup,
-                    dirty, self.queued, self.changed_flag,
-                    self.changed_list, self.scratch,
+            with self.tracer.span("kernel.fold_mailbox", batches=len(batches)):
+                dirty = self.kb.fold_mailbox(
+                    slots, vals, n_owned, est, self.sup,
+                    self.watch_offsets, self.watch_targets, self.queued,
                 )
+            if len(dirty):
+                with self.tracer.span("kernel.cascade"):
+                    self.kb.cascade(
+                        self.offsets, self.targets, n_owned, est, self.sup,
+                        dirty, self.queued, self.changed_flag,
+                        self.changed_list, self.scratch,
+                    )
         clist = self.changed_list
         if not clist:
             return 0, {}, 0
@@ -546,6 +595,8 @@ def _worker_main(
     resilient: bool,
     faults_blob: "bytes | None",
     restore_blob: "bytes | None",
+    telemetry: bool = False,
+    record_blob: "bytes | None" = None,
 ) -> None:
     """Worker process entry point (module-level: spawn-picklable).
 
@@ -558,6 +609,13 @@ def _worker_main(
     ``faults_blob`` is this worker's slice of a
     :class:`~repro.sim.faults.FaultPlan`.
 
+    ``telemetry`` arms a worker-local :class:`~repro.telemetry.Tracer`
+    (lane ``worker-<host>``) whose buffer ships up the control pipe on
+    ``_TELEMETRY`` at gather time; ``record_blob`` is the pickled
+    reference slices arming the per-round
+    :class:`~repro.sim.tracing.TraceRecorder` diff. Both are pure
+    observers — neither touches protocol state or message flow.
+
     Runs the command loop: fold/cascade/emit on ``_STEP``, holding back
     early-arriving batches tagged for a later round. Any exception is
     reported up the control pipe as ``("error", traceback)`` so the
@@ -565,64 +623,83 @@ def _worker_main(
     """
     try:
         faults = pickle.loads(faults_blob) if faults_blob else None
+        tracer = Tracer(lane=f"worker-{host}") if telemetry else NULL_TRACER
         worker = _ShardWorker(
             host, pickle.loads(shard_blob), num_hosts, communication,
             p2p_filter, backend, infinity, inboxes,
-            resilient=resilient, faults=faults,
+            resilient=resilient, faults=faults, tracer=tracer,
         )
         if restore_blob is not None:
             worker.restore(restore_blob)
+        if record_blob is not None:
+            worker.enable_recording(
+                pickle.loads(record_blob), restored=restore_blob is not None
+            )
         while True:
             cmd = conn.recv()
             op = cmd[0]
             if op == _INIT:
                 if faults and faults.kill_now(1, "start"):
                     _die(inboxes, host)
-                report = worker.on_init(cmd[1])
+                with tracer.span("round", round=1) as round_span:
+                    report = worker.on_init(cmd[1])
+                    round_span.note(sends=report[0])
                 if faults and faults.kill_now(1, "after_emit"):
                     _die(inboxes, host)
                 if faults:
                     faults.stall_before_report(1)
-                conn.send(("done",) + report)
+                conn.send(("done",) + report + (worker.record_diff(),))
             elif op == _STEP:
                 rnd, expect = cmd[1], cmd[2]
                 if faults and faults.kill_now(rnd, "start"):
                     _die(inboxes, host)
-                batches = worker.pull(inbox, rnd, expect)
-                report = worker.activate(rnd + 1, batches)
+                with tracer.span("round", round=rnd) as round_span:
+                    with tracer.span("mail.pull", round=rnd, expect=expect):
+                        batches = worker.pull(inbox, rnd, expect)
+                    report = worker.activate(rnd + 1, batches)
+                    round_span.note(sends=report[0])
                 if faults and faults.kill_now(rnd, "after_emit"):
                     _die(inboxes, host)
                 if faults:
                     faults.stall_before_report(rnd)
-                conn.send(("done",) + report)
+                conn.send(("done",) + report + (worker.record_diff(),))
             elif op == _CHECKPOINT:
                 rnd, expect = cmd[1], cmd[2]
-                worker.absorb(inbox, rnd + 1, expect)
-                worker.prune_resend(rnd)
-                conn.send(("ckpt", worker.snapshot()))
+                with tracer.span("checkpoint.snapshot", round=rnd):
+                    worker.absorb(inbox, rnd + 1, expect)
+                    worker.prune_resend(rnd)
+                    blob = worker.snapshot()
+                conn.send(("ckpt", blob))
             elif op == _RESEND:
                 dest, from_round = cmd[1], cmd[2]
                 count = 0
                 nbytes = 0
-                for deliver_round, payload in worker.resend.get(dest, ()):
-                    if deliver_round > from_round:
-                        inboxes[dest].put(payload)
-                        count += 1
-                        nbytes += len(payload)
+                with tracer.span("recovery.resend", dest=dest):
+                    for deliver_round, payload in worker.resend.get(dest, ()):
+                        if deliver_round > from_round:
+                            inboxes[dest].put(payload)
+                            count += 1
+                            nbytes += len(payload)
                 conn.send(("resent", count, nbytes))
             elif op == _REPLAY:
                 # deterministic catch-up of a respawned replacement:
                 # re-execute the missed rounds with transmission
                 # suppressed (the live fleet already has these batches;
                 # emitting only rebuilds counters + the resend buffer)
-                for rnd, expect in cmd[1]:
-                    if rnd == 1:
-                        worker.on_init(2, transport=False)
-                        worker.folded_through = max(worker.folded_through, 1)
-                    else:
-                        batches = worker.pull(inbox, rnd, expect)
-                        worker.activate(rnd + 1, batches, transport=False)
+                with tracer.span("recovery.replay", rounds=len(cmd[1])):
+                    for rnd, expect in cmd[1]:
+                        if rnd == 1:
+                            worker.on_init(2, transport=False)
+                            worker.folded_through = max(
+                                worker.folded_through, 1
+                            )
+                        else:
+                            batches = worker.pull(inbox, rnd, expect)
+                            worker.activate(rnd + 1, batches, transport=False)
+                    worker.resync_record_prev()
                 conn.send(("replayed",))
+            elif op == _TELEMETRY:
+                conn.send(("telemetry", tracer.events()))
             elif op == _FINISH:
                 conn.send(("result",) + worker.result())
             elif op == _EXIT:
@@ -678,6 +755,24 @@ class MultiProcessOneToManyEngine:
         ``checkpoint`` or ``fault_plan`` is set. With recovery off, a
         lost worker aborts the run loudly (fleet reaped, queues
         drained).
+    telemetry:
+        ``True``/``False`` or a :class:`repro.telemetry.Tracer`. When
+        enabled, the coordinator traces spawn / round / per-worker
+        barrier waits / checkpoint commits / recoveries / gather in its
+        own lane, each worker runs a local ``worker-<host>`` tracer
+        (round, queue wait, fold, cascade, serialization, snapshot,
+        replay spans), and the worker buffers ship up the control pipes
+        at gather time into one fleet timeline. A pure observer: the
+        protocol messages, their ordering and every counter are
+        bit-identical with tracing on or off.
+    recorders:
+        :class:`~repro.sim.tracing.TraceRecorder` instances. Workers
+        diff their owned estimate slice per round and ship
+        ``(changed, errors)`` with the round report; the coordinator
+        sums the shard aggregates (addition is associative, so sharding
+        does not change the totals) and records one snapshot per
+        executed round — identical output to the object engine's
+        observer path.
 
     After :meth:`run`: :meth:`coreness`, :attr:`estimates_sent` (per
     host), :attr:`pipe_bytes_per_round` / :attr:`pipe_bytes_total` (the
@@ -701,6 +796,8 @@ class MultiProcessOneToManyEngine:
         checkpoint: "CheckpointPolicy | None" = None,
         fault_plan: "FaultPlan | None" = None,
         recover: "bool | None" = None,
+        telemetry: object = None,
+        recorders=(),
     ) -> None:
         if communication not in ("broadcast", "p2p"):
             raise ConfigurationError(
@@ -770,6 +867,9 @@ class MultiProcessOneToManyEngine:
             if recover is not None
             else (checkpoint is not None or fault_plan is not None)
         )
+        self.tracer = resolve_tracer(telemetry, lane="coordinator")
+        self.recorders = list(recorders)
+        self._record_blobs: "list[bytes] | None" = None
         #: Extra manifest fields the runner wants persisted (e.g. the
         #: algorithm label a resume should report).
         self.checkpoint_meta: dict = {}
@@ -845,6 +945,8 @@ class MultiProcessOneToManyEngine:
                 self.p2p_filter, self.backend_name, self._infinity,
                 child_conn, self._inboxes[x], self._inboxes,
                 self.resilient, faults_blob, restore_blob,
+                self.tracer.enabled,
+                None if self._record_blobs is None else self._record_blobs[x],
             ),
             daemon=True,
             name=f"kcore-shard-{x}",
@@ -1018,13 +1120,19 @@ class MultiProcessOneToManyEngine:
         lost: list[_WorkerLost] = []
         for x in range(self.sharded.num_hosts):
             try:
-                reports[x] = self._recv(x, rnd)
+                # per-worker wait spans: the gap between the first and
+                # the last recv *is* the barrier skew
+                with self.tracer.span("barrier.recv", worker=x, round=rnd):
+                    reports[x] = self._recv(x, rnd)
             except _WorkerLost as exc:
                 lost.append(exc)
         if lost:
             if not self.resilient or len(lost) > 1:
                 self._raise_lost(lost, rnd)
-            reports[lost[0].worker] = self._recover_worker(lost[0], rnd)
+            with self.tracer.span(
+                "recovery", worker=lost[0].worker, round=rnd
+            ):
+                reports[lost[0].worker] = self._recover_worker(lost[0], rnd)
         self._last_barrier_ts = _time.time()
         return reports
 
@@ -1033,6 +1141,14 @@ class MultiProcessOneToManyEngine:
         self, rnd, expect, sends, pending, sent_msgs, pipe_bytes
     ) -> None:
         """The checkpoint barrier: drain, snapshot, commit atomically."""
+        num_hosts = self.sharded.num_hosts
+        with self.tracer.span("checkpoint.commit", round=rnd):
+            self._checkpoint_barrier(rnd, expect, sends, pending, sent_msgs,
+                                     pipe_bytes)
+
+    def _checkpoint_barrier(
+        self, rnd, expect, sends, pending, sent_msgs, pipe_bytes
+    ) -> None:
         num_hosts = self.sharded.num_hosts
         for x in range(num_hosts):
             self._conns[x].send((_CHECKPOINT, rnd, expect[x]))
@@ -1141,6 +1257,41 @@ class MultiProcessOneToManyEngine:
         sent_msgs = array("q", [0]) * num_hosts
         pipe_bytes = self.pipe_bytes_per_round = []
         all_hosts = range(num_hosts)
+        tracer = self.tracer
+        recorders = self.recorders
+        if recorders:
+            # reference slices per worker, pickled once — workers diff
+            # their owned slice per round and ship the aggregates
+            ids = sharded.csr.ids
+            self._record_blobs = [
+                pickle.dumps(
+                    [
+                        reference_slice(
+                            rec.reference, [ids[g] for g in shard.owned_global]
+                        )
+                        for rec in recorders
+                    ],
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                for shard in sharded.shards
+            ]
+
+        def record_round(rnd: int, sends: int, reports: dict) -> None:
+            if not recorders:
+                return
+            changed = 0
+            errors: "list[int | None]" = [
+                0 if rec.reference is not None else None for rec in recorders
+            ]
+            for x in all_hosts:
+                shard_changed, shard_errors = reports[x][4]
+                changed += shard_changed
+                for j, err in enumerate(shard_errors):
+                    if err is not None:
+                        errors[j] += err
+            for rec, err in zip(recorders, errors):
+                rec.record(rnd, sends, changed, err)
+
         rnd = 0
         try:
             # -- spawn the fleet (inside the cleanup scope: a failure
@@ -1148,14 +1299,17 @@ class MultiProcessOneToManyEngine:
             # pickled exactly once — the blob is both the wire payload
             # and the shard_payload_bytes metric.
             self._inboxes.extend(self._ctx.Queue() for _ in all_hosts)
-            for x in all_hosts:
-                self._spawn_worker(
-                    x,
-                    restore_blob=(
-                        resume.worker_blobs[x] if resume is not None else None
-                    ),
-                    with_faults=resume is None,
-                )
+            with tracer.span("spawn", workers=num_hosts):
+                for x in all_hosts:
+                    self._spawn_worker(
+                        x,
+                        restore_blob=(
+                            resume.worker_blobs[x]
+                            if resume is not None
+                            else None
+                        ),
+                        with_faults=resume is None,
+                    )
             if self._ckpt_writer is not None:
                 # once per run: the partitioned graph itself, so a
                 # resume needs nothing but the checkpoint directory
@@ -1187,24 +1341,27 @@ class MultiProcessOneToManyEngine:
                 # only order)
                 rnd = 1
                 self._expect_hist[1] = [0] * num_hosts
-                for x in all_hosts:
-                    self._conns[x].send((_INIT, rnd + 1))
-                sends = 0
-                round_bytes = 0
-                expect = [0] * num_hosts  # per-dest counts, next round
-                reports = self._round_barrier(rnd)
-                for x in all_hosts:
-                    _tag, sent, per_dest, nbytes = reports[x]
-                    sends += sent
-                    sent_msgs[x] += sent
-                    round_bytes += nbytes
-                    for y, count in per_dest.items():
-                        expect[y] += count
+                with tracer.span("round", round=1) as round_span:
+                    for x in all_hosts:
+                        self._conns[x].send((_INIT, rnd + 1))
+                    sends = 0
+                    round_bytes = 0
+                    expect = [0] * num_hosts  # per-dest counts, next round
+                    reports = self._round_barrier(rnd)
+                    for x in all_hosts:
+                        _tag, sent, per_dest, nbytes = reports[x][:4]
+                        sends += sent
+                        sent_msgs[x] += sent
+                        round_bytes += nbytes
+                        for y, count in per_dest.items():
+                            expect[y] += count
+                    round_span.note(sends=sends)
                 pending = sends
                 stats.sends_per_round.append(sends)
                 pipe_bytes.append(round_bytes)
                 if sends:
                     stats.execution_time += 1
+                record_round(rnd, sends, reports)
                 if self.checkpoint and self.checkpoint.due(rnd):
                     self._write_checkpoint(
                         rnd, expect, sends, pending, sent_msgs, pipe_bytes
@@ -1217,25 +1374,28 @@ class MultiProcessOneToManyEngine:
                     break
                 rnd += 1
                 self._expect_hist[rnd] = list(expect)
-                for x in all_hosts:
-                    self._conns[x].send((_STEP, rnd, expect[x]))
-                delivered = sum(expect)
-                expect = [0] * num_hosts
-                sends = 0
-                round_bytes = 0
-                reports = self._round_barrier(rnd)
-                for x in all_hosts:
-                    _tag, sent, per_dest, nbytes = reports[x]
-                    sends += sent
-                    sent_msgs[x] += sent
-                    round_bytes += nbytes
-                    for y, count in per_dest.items():
-                        expect[y] += count
+                with tracer.span("round", round=rnd) as round_span:
+                    for x in all_hosts:
+                        self._conns[x].send((_STEP, rnd, expect[x]))
+                    delivered = sum(expect)
+                    expect = [0] * num_hosts
+                    sends = 0
+                    round_bytes = 0
+                    reports = self._round_barrier(rnd)
+                    for x in all_hosts:
+                        _tag, sent, per_dest, nbytes = reports[x][:4]
+                        sends += sent
+                        sent_msgs[x] += sent
+                        round_bytes += nbytes
+                        for y, count in per_dest.items():
+                            expect[y] += count
+                    round_span.note(sends=sends)
                 pending += sends - delivered
                 stats.sends_per_round.append(sends)
                 pipe_bytes.append(round_bytes)
                 if sends:
                     stats.execution_time += 1
+                record_round(rnd, sends, reports)
                 if self.checkpoint and self.checkpoint.due(rnd):
                     self._write_checkpoint(
                         rnd, expect, sends, pending, sent_msgs, pipe_bytes
@@ -1243,15 +1403,27 @@ class MultiProcessOneToManyEngine:
             else:
                 stats.rounds_executed = rnd
 
-            # -- gather: owned estimates + Figure-5 counters
-            for x in all_hosts:
-                self._conns[x].send((_FINISH,))
-            self._owned_est = []
-            estimates_sent = self.estimates_sent = array("q")
-            for x in all_hosts:
-                _tag, owned, est_sent = self._recv(x, rnd)
-                self._owned_est.append(owned)
-                estimates_sent.append(est_sent)
+            # -- gather: worker span buffers (telemetry runs first so
+            # the fleet timeline ends before the result recv), then
+            # owned estimates + Figure-5 counters
+            if tracer.enabled:
+                with tracer.span("gather.telemetry"):
+                    for x in all_hosts:
+                        self._conns[x].send((_TELEMETRY,))
+                    worker_events = {}
+                    for x in all_hosts:
+                        reply = self._recv(x, rnd)
+                        worker_events[x] = reply[1]
+                merge_worker_buffers(tracer, worker_events)
+            with tracer.span("gather.results"):
+                for x in all_hosts:
+                    self._conns[x].send((_FINISH,))
+                self._owned_est = []
+                estimates_sent = self.estimates_sent = array("q")
+                for x in all_hosts:
+                    _tag, owned, est_sent = self._recv(x, rnd)
+                    self._owned_est.append(owned)
+                    estimates_sent.append(est_sent)
         except _WorkerLost as exc:
             # a loss outside a recoverable barrier (checkpoint / gather /
             # mid-recovery): reap everything, then surface it loudly

@@ -1,0 +1,112 @@
+"""Unified telemetry: spans, a typed metrics registry, and exporters.
+
+This package is the observability layer for every engine in the
+repository — and, by replay-lint decree (RPL001), the **only**
+non-stats place wall clocks are read. The pieces:
+
+* :mod:`~repro.telemetry.spans` — ``Tracer`` / ``NullTracer``. Engines
+  bracket rounds, kernel phases and transport work in
+  ``tracer.span(...)`` blocks; the disabled path is a shared no-op
+  singleton, so tracing costs nothing when off.
+* :mod:`~repro.telemetry.registry` — the typed schema behind every
+  ``SimulationStats.extra`` key (``validate_extra`` rejects drift).
+* :mod:`~repro.telemetry.export` — Chrome trace-event JSON (Perfetto),
+  JSONL, and the CLI summary table.
+* :mod:`~repro.telemetry.merge` — deterministic fleet-timeline merge
+  for mp worker buffers.
+
+Telemetry is a pure observer: enabling it must not perturb the
+bit-identical replay contract, which the equivalence suites assert by
+running with tracing on (see ``docs/telemetry.md``).
+
+Typical wiring, config-level::
+
+    from repro.core.one_to_many import OneToManyConfig, run_one_to_many
+    result = run_one_to_many(graph, OneToManyConfig(
+        engine="flat", telemetry=True, trace_out="trace.json"))
+
+or keep the tracer to inspect spans in-process::
+
+    from repro.telemetry import Tracer, summary_table
+    tracer = Tracer()
+    result = run_one_to_many(graph, OneToManyConfig(
+        engine="flat", telemetry=tracer))
+    print(summary_table(tracer.buffers()))
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.export import (
+    chrome_trace_events,
+    summary_table,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.merge import lane_sequence, merge_worker_buffers
+from repro.telemetry.registry import (
+    METRICS,
+    MetricSpec,
+    schema_rows,
+    validate_extra,
+)
+from repro.telemetry.spans import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    resolve_tracer,
+)
+
+__all__ = [
+    "METRICS",
+    "MetricSpec",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "chrome_trace_events",
+    "finish_run_telemetry",
+    "lane_sequence",
+    "merge_worker_buffers",
+    "resolve_tracer",
+    "run_tracer",
+    "schema_rows",
+    "summary_table",
+    "validate_extra",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def run_tracer(
+    telemetry: object, trace_out: "str | None", lane: str = "main"
+) -> "Tracer | NullTracer":
+    """Resolve the config pair (``telemetry``, ``trace_out``) to a tracer.
+
+    ``trace_out`` implies tracing even when ``telemetry`` was left
+    False — asking for a trace file is asking for telemetry.
+    """
+    if (telemetry is None or telemetry is False) and trace_out:
+        telemetry = True
+    return resolve_tracer(telemetry, lane=lane)
+
+
+def finish_run_telemetry(
+    tracer: "Tracer | NullTracer",
+    trace_out: "str | None",
+    stats: object = None,
+) -> None:
+    """End-of-run hook every runner calls when telemetry is enabled.
+
+    Validates ``stats.extra`` against the registry (schema drift fails
+    the traced run, not a later dashboard) and writes ``trace_out`` —
+    Chrome trace-event JSON by default, JSONL when the path ends in
+    ``.jsonl``.
+    """
+    if not tracer.enabled:
+        return
+    if stats is not None:
+        validate_extra(stats.extra)
+    if trace_out:
+        if str(trace_out).endswith(".jsonl"):
+            write_jsonl(trace_out, tracer.buffers())
+        else:
+            write_chrome_trace(trace_out, tracer.buffers())

@@ -1,0 +1,180 @@
+"""Exporters for recorded span buffers: Chrome trace, JSONL, summary.
+
+All three consume the same input — the ``(lane, events)`` pairs from
+:meth:`repro.telemetry.Tracer.buffers` — and are pure functions of it,
+so the exported artifacts are deterministic given a replay (only the
+timestamps inside vary run to run).
+
+* :func:`write_chrome_trace` emits the Chrome trace-event JSON format:
+  open the file in Perfetto (https://ui.perfetto.dev) or
+  ``about://tracing`` and each lane renders as its own process row —
+  for an mp run that means one row per worker, with barrier skew and
+  serialization stalls visible as staggered span edges.
+* :func:`write_jsonl` emits one JSON object per event for ad-hoc
+  processing (``jq``, pandas).
+* :func:`summary_table` aggregates spans by (lane, name) into the
+  repository's standard ASCII table (the CLI prints this under
+  ``--telemetry``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from repro.utils.tables import format_table
+
+__all__ = [
+    "chrome_trace_events",
+    "summary_table",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+Buffers = Iterable  # (lane, events) pairs; events as recorded by Tracer
+
+
+def _origin(buffers: "list[tuple[str, list]]") -> float:
+    starts = [ev[2] for _lane, events in buffers for ev in events]
+    return min(starts) if starts else 0.0
+
+
+def chrome_trace_events(
+    buffers: Buffers, origin: "float | None" = None
+) -> "list[dict]":
+    """Render buffers as a list of Chrome trace-event dicts.
+
+    Each lane becomes one pid (named via a ``process_name`` metadata
+    event, so viewers label the rows), spans become complete ``"X"``
+    events and instants become ``"i"`` events. Timestamps are
+    microseconds relative to ``origin`` (default: the earliest recorded
+    event across all lanes, which keeps every ``ts`` non-negative).
+    """
+    buffers = [(lane, list(events)) for lane, events in buffers]
+    if origin is None:
+        origin = _origin(buffers)
+    out: "list[dict]" = []
+    for pid, (lane, events) in enumerate(buffers):
+        out.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": lane},
+            }
+        )
+        out.append(
+            {
+                "ph": "M",
+                "name": "process_sort_index",
+                "pid": pid,
+                "tid": 0,
+                "args": {"sort_index": pid},
+            }
+        )
+        for kind, name, t0, t1, args in events:
+            event = {
+                "ph": kind,
+                "name": name,
+                "cat": "repro",
+                "pid": pid,
+                "tid": 0,
+                "ts": round((t0 - origin) * 1e6, 3),
+                "args": args or {},
+            }
+            if kind == "X":
+                event["dur"] = round((t1 - t0) * 1e6, 3)
+            else:  # instant events carry a scope instead of a duration
+                event["s"] = "t"
+            out.append(event)
+    return out
+
+
+def write_chrome_trace(
+    path_or_file: "str | IO[str]",
+    buffers: Buffers,
+    origin: "float | None" = None,
+) -> None:
+    """Write ``{"traceEvents": [...]}`` JSON loadable by Perfetto."""
+    doc = {
+        "traceEvents": chrome_trace_events(buffers, origin=origin),
+        "displayTimeUnit": "ms",
+    }
+    if hasattr(path_or_file, "write"):
+        json.dump(doc, path_or_file)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+
+
+def write_jsonl(
+    path_or_file: "str | IO[str]",
+    buffers: Buffers,
+    origin: "float | None" = None,
+) -> None:
+    """One JSON object per event: lane, kind, name, ts_us, dur_us, args."""
+    buffers = [(lane, list(events)) for lane, events in buffers]
+    if origin is None:
+        origin = _origin(buffers)
+
+    def _emit(fh: "IO[str]") -> None:
+        for lane, events in buffers:
+            for kind, name, t0, t1, args in events:
+                fh.write(
+                    json.dumps(
+                        {
+                            "lane": lane,
+                            "kind": kind,
+                            "name": name,
+                            "ts_us": round((t0 - origin) * 1e6, 3),
+                            "dur_us": round((t1 - t0) * 1e6, 3),
+                            "args": args or {},
+                        }
+                    )
+                )
+                fh.write("\n")
+
+    if hasattr(path_or_file, "write"):
+        _emit(path_or_file)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            _emit(fh)
+
+
+def summary_table(buffers: Buffers, title: str = "telemetry summary") -> str:
+    """Aggregate spans per (lane, name) into an aligned ASCII table.
+
+    Columns: count, total/mean/max milliseconds. Lanes appear in buffer
+    order and span names in first-recorded order within each lane, so
+    the table layout is as deterministic as the replay itself.
+    """
+    rows: "list[list[object]]" = []
+    for lane, events in buffers:
+        stats: "dict[str, list[float]]" = {}
+        order: "list[str]" = []
+        for kind, name, t0, t1, _args in events:
+            if kind != "X":
+                continue
+            if name not in stats:
+                stats[name] = []
+                order.append(name)
+            stats[name].append(t1 - t0)
+        for name in order:
+            durs = stats[name]
+            total = sum(durs)
+            rows.append(
+                [
+                    lane,
+                    name,
+                    len(durs),
+                    total * 1e3,
+                    total / len(durs) * 1e3,
+                    max(durs) * 1e3,
+                ]
+            )
+    return format_table(
+        ("lane", "span", "count", "total ms", "mean ms", "max ms"),
+        rows,
+        title=title,
+    )

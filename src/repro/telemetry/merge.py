@@ -1,0 +1,49 @@
+"""Deterministic fleet-timeline merge for the mp engine.
+
+Worker processes run their own :class:`~repro.telemetry.Tracer`; at
+gather time the coordinator requests each buffer over the existing
+control pipes and adopts them into its tracer. The merge order is a
+pure function of the replay — coordinator lane first, worker lanes in
+ascending host order — and **never** sorts by timestamp: clock skew or
+scheduling jitter must not be able to reorder lanes between two runs
+of the same seed (``tests/test_telemetry.py`` pins this across fork
+and spawn start methods).
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.spans import NullTracer, Tracer
+
+__all__ = ["lane_sequence", "merge_worker_buffers"]
+
+
+def merge_worker_buffers(
+    tracer: "Tracer | NullTracer",
+    worker_events: "dict[int, list]",
+) -> None:
+    """Adopt per-worker event buffers into the coordinator's tracer.
+
+    ``worker_events`` maps host id -> event list (as shipped over the
+    control pipes). Lanes are adopted in ascending host order under the
+    name ``worker-<host>`` regardless of dict insertion or reply
+    arrival order.
+    """
+    if not tracer.enabled:
+        return
+    for host in sorted(worker_events):
+        tracer.adopt_lane(f"worker-{host}", worker_events[host])
+
+
+def lane_sequence(buffers: "list[tuple[str, list]]") -> "list[tuple]":
+    """Project buffers onto their replay-deterministic skeleton.
+
+    Returns ``(lane, kind, name, args)`` tuples in merge/recording
+    order — everything about the timeline *except* the timestamps.
+    Two runs of the same configuration must produce equal sequences;
+    the determinism tests compare exactly this projection.
+    """
+    return [
+        (lane, kind, name, args)
+        for lane, events in buffers
+        for kind, name, _t0, _t1, args in events
+    ]

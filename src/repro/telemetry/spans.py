@@ -1,0 +1,197 @@
+"""Span-based tracing: the repository's only wall-clock sink.
+
+Every engine layer (object round engines, flat kernels, the mp fleet)
+accepts a tracer and brackets interesting work in
+``with tracer.span("round", round=n):`` blocks. Two implementations
+share that surface:
+
+* :class:`Tracer` — records ``("X", name, t0, t1, args)`` tuples on a
+  monotonic clock (:func:`time.perf_counter`). Buffers are plain
+  tuples so worker processes can ship them over the existing control
+  pipes with one cheap pickle.
+* :class:`NullTracer` — the disabled path. ``span()`` returns one
+  module-level no-op context manager **singleton**, so a traced-but-
+  disabled engine allocates nothing per round and the replay hot loops
+  pay a single attribute lookup + no-op ``with``.
+
+Telemetry is a pure observer: nothing in this module feeds timing back
+into protocol decisions, and replay-lint's RPL001 pins this package as
+the only non-stats place clocks may be read (see
+``docs/invariants.md``).
+
+Cross-process clocks: on Linux ``perf_counter`` reads the system-wide
+``CLOCK_MONOTONIC``, so worker and coordinator timestamps are directly
+comparable and the merged fleet timeline needs no skew correction. On
+platforms with per-process counters the per-lane *durations* remain
+exact while cross-lane alignment is approximate; exporters normalise
+against the earliest event either way.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "resolve_tracer",
+]
+
+# Event tuples: (kind, name, t0, t1, args) with kind "X" for a span
+# (complete event, chrome trace-event vocabulary) and "i" for an
+# instant (t1 == t0). args is a dict or None — never timing data, so
+# event *payloads* stay bit-identical across runs and only t0/t1 vary.
+
+
+class _NullSpan:
+    """No-op context manager returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def note(self, **args: Any) -> None:
+        """Discard late-attached span arguments."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every call is a no-op, no buffer exists.
+
+    ``span()`` hands back the same module-level singleton every time —
+    the disabled fast path allocates no span objects, no event tuples
+    and no buffers, which is what lets every engine keep its tracing
+    calls unconditionally in the round loop.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    lane = "null"
+
+    def span(self, name: str, **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, **args: Any) -> None:
+        return None
+
+    def adopt_lane(self, lane: str, events: list) -> None:
+        return None
+
+    def events(self) -> list:
+        return []
+
+    def buffers(self) -> list:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """Live span handle: records one ``("X", ...)`` tuple on exit."""
+
+    __slots__ = ("_events", "name", "args", "_t0")
+
+    def __init__(self, events: list, name: str, args: "dict | None") -> None:
+        self._events = events
+        self.name = name
+        self.args = args
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        t1 = time.perf_counter()
+        self._events.append(("X", self.name, self._t0, t1, self.args))
+        return False
+
+    def note(self, **args: Any) -> None:
+        """Attach arguments discovered mid-span (e.g. sends at round end)."""
+        if self.args is None:
+            self.args = args
+        else:
+            self.args.update(args)
+
+
+class Tracer:
+    """Buffered span recorder for one lane of the timeline.
+
+    A lane is one timeline row in the exported trace: ``"main"`` for
+    in-process engines, ``"coordinator"`` / ``"worker-<h>"`` for the mp
+    fleet. Worker lanes recorded in other processes are merged in via
+    :meth:`adopt_lane` (the mp coordinator does this at gather time),
+    after which :meth:`buffers` yields the full fleet timeline in
+    deterministic order: own lane first, adopted lanes in adoption
+    order — never sorted by timestamp, so the merge order is a pure
+    function of the replay.
+    """
+
+    __slots__ = ("lane", "origin", "_events", "_extra_lanes")
+
+    enabled = True
+
+    def __init__(self, lane: str = "main") -> None:
+        self.lane = lane
+        #: run anchor; exporters fall back to the earliest event when
+        #: normalising, so adopted lanes recorded before this tracer
+        #: was created still land at non-negative timestamps.
+        self.origin = time.perf_counter()
+        self._events: list = []
+        self._extra_lanes: list = []
+
+    def span(self, name: str, **args: Any) -> _Span:
+        """Context manager timing one operation; records on exit."""
+        return _Span(self._events, name, args or None)
+
+    def instant(self, name: str, **args: Any) -> None:
+        """Record a zero-duration point event (e.g. a worker loss)."""
+        ts = time.perf_counter()
+        self._events.append(("i", name, ts, ts, args or None))
+
+    def adopt_lane(self, lane: str, events: list) -> None:
+        """Merge a buffer recorded in another process as its own lane."""
+        self._extra_lanes.append((str(lane), list(events)))
+
+    def events(self) -> list:
+        """This lane's event tuples, in recording order."""
+        return list(self._events)
+
+    def buffers(self) -> "list[tuple[str, list]]":
+        """All ``(lane, events)`` pairs: own lane first, then adopted."""
+        return [(self.lane, list(self._events)), *self._extra_lanes]
+
+
+def resolve_tracer(
+    telemetry: "bool | Tracer | NullTracer | None",
+    lane: str = "main",
+) -> "Tracer | NullTracer":
+    """Map a config-level ``telemetry`` value onto a tracer instance.
+
+    ``None``/``False`` select the shared :data:`NULL_TRACER`, ``True``
+    builds a fresh :class:`Tracer` on ``lane``, and an existing tracer
+    passes through (callers who want to export or inspect spans build
+    the tracer themselves and hand it in).
+    """
+    if telemetry is None or telemetry is False:
+        return NULL_TRACER
+    if telemetry is True:
+        return Tracer(lane=lane)
+    if isinstance(telemetry, (Tracer, NullTracer)):
+        return telemetry
+    raise ConfigurationError(
+        f"telemetry={telemetry!r} is not a tracer: pass True/False or a "
+        "repro.telemetry.Tracer instance"
+    )

@@ -34,6 +34,9 @@ ALL_CODES = ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006")
 SEM = "src/repro/sim/fixture_mod.py"
 #: A path outside the semantics-bearing packages.
 NONSEM = "src/repro/analysis/fixture_mod.py"
+#: A path inside the sanctioned wall-clock sink (RPL001 applies, but
+#: clock reads pass; everything else is still patrolled).
+TEL = "src/repro/telemetry/fixture_mod.py"
 
 
 def lint_one(path: str, text: str, **kw):
@@ -222,6 +225,24 @@ class TestRPL001Determinism:
         text = "import random\n\n\ndef f(xs):\n    random.shuffle(xs)\n"
         assert lint_one(NONSEM, text) == []
         assert lint_one("src/repro/devtools/lint/x.py", text) == []
+
+    def test_telemetry_package_is_sanctioned_clock_sink(self):
+        # the exact snippet that is flagged under sim/ passes under
+        # telemetry/ — the span tracer exists to hold timestamps
+        text = "import time\n\n\ndef f():\n    return time.perf_counter()\n"
+        assert codes(lint_one(SEM, text)) == ["RPL001"]
+        assert lint_one(TEL, text) == []
+
+    def test_telemetry_package_still_linted_for_everything_else(self):
+        # the clock exemption is surgical: unseeded RNG, hash()/id()
+        # and set-order hazards are still patrolled — span buffers ride
+        # the mp control pipes and must merge deterministically
+        rng = "import random\n\n\ndef f(xs):\n    random.shuffle(xs)\n"
+        assert codes(lint_one(TEL, rng)) == ["RPL001"]
+        order = "def f(lanes):\n    return [x for x in set(lanes)]\n"
+        assert codes(lint_one(TEL, order)) == ["RPL001"]
+        ident = "def f(span):\n    return id(span)\n"
+        assert codes(lint_one(TEL, ident)) == ["RPL001"]
 
 
 class TestRPL002ImportGating:
