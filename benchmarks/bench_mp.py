@@ -47,6 +47,7 @@ sys.path.insert(
 
 from repro.baselines import batagelj_zaversnik  # noqa: E402
 from repro.core.one_to_many import OneToManyConfig, run_one_to_many  # noqa: E402
+from repro.core.one_to_many_mp import MP_SMALL_RUN_NODES_PER_WORKER  # noqa: E402
 from repro.graph import generators as gen  # noqa: E402
 
 FAMILIES = {
@@ -161,6 +162,11 @@ def bench_one(family, n, workers, seed, reps, communication,
         "pipe_bytes_per_round": pipe_rounds,
         "pipe_bytes_max_round": max(pipe_rounds) if pipe_rounds else 0,
         "shard_payload_bytes_total": sum(extra["shard_payload_bytes"]),
+        # below the engine's own serialization-cost threshold the IPC
+        # bill dominates by design; speed gates must skip these rows
+        "undersized": (
+            graph.num_nodes < MP_SMALL_RUN_NODES_PER_WORKER * workers
+        ),
         "verified": True,
     }
 
@@ -195,6 +201,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--reps", type=int, default=1)
+    parser.add_argument(
+        "--require-speedup", type=float, default=None, metavar="BOUND",
+        help="fail unless every adequately-sized row (undersized=false) "
+        "reaches mp_speedup_vs_object >= BOUND; refuses to pass "
+        "vacuously when every row is undersized",
+    )
     parser.add_argument(
         "--out",
         default=os.path.join(
@@ -269,6 +281,34 @@ def main(argv=None) -> int:
         f"({workers} workers, {args.start_method})"
     )
     print(f"-> {out_path}")
+    if args.require_speedup is not None:
+        sized = [r for r in results if not r["undersized"]]
+        if not sized:
+            print(
+                "--require-speedup: FAIL — every row is undersized "
+                f"(< {MP_SMALL_RUN_NODES_PER_WORKER} nodes/worker); "
+                "a gate with nothing to measure must not pass",
+                file=sys.stderr,
+            )
+            return 1
+        slow = [
+            r for r in sized
+            if r["mp_speedup_vs_object"] < args.require_speedup
+        ]
+        if slow:
+            for r in slow:
+                print(
+                    f"--require-speedup: FAIL — {r['family']}/"
+                    f"{r['communication']} n={r['n']} reached "
+                    f"{r['mp_speedup_vs_object']:.2f}x vs object "
+                    f"(< {args.require_speedup:.2f}x)",
+                    file=sys.stderr,
+                )
+            return 1
+        print(
+            f"--require-speedup: OK — {len(sized)} sized row(s) >= "
+            f"{args.require_speedup:.2f}x vs object"
+        )
     return 0
 
 

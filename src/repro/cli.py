@@ -77,9 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dec.add_argument(
         "--policy", default=None,
-        choices=("modulo", "block", "random", "bfs"),
+        choices=("modulo", "block", "random", "bfs", "refined"),
         help="node->host placement policy (one-to-many only; "
-        "default the paper's modulo)",
+        "default the paper's modulo; refined = modulo post-processed "
+        "by a greedy cut-reducing boundary pass)",
+    )
+    dec.add_argument(
+        "--transport", default=None, choices=("queue", "shm"),
+        help="estimate transport for --engine mp (default queue = "
+        "pickled batches over process queues; shm = zero-pickle "
+        "shared-memory mailbox rings, bit-identical results)",
     )
     dec.add_argument(
         "--checkpoint-every", type=int, default=None, metavar="N",
@@ -215,6 +222,7 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
             ("--mode", args.mode),
             ("--communication", args.communication),
             ("--policy", args.policy),
+            ("--transport", args.transport),
             ("--checkpoint-every", args.checkpoint_every),
             ("--checkpoint-dir", args.checkpoint_dir),
         ):
@@ -269,6 +277,13 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
             "it sets the process count of the one-to-many mp engine "
             "(one OS process per host shard)"
         )
+    if args.transport is not None and args.algorithm not in (
+        "one-to-many", "one-to-many-flat", "one-to-many-mp",
+    ):
+        raise ConfigurationError(
+            f"--transport has no meaning for algorithm {args.algorithm!r}: "
+            "it selects the one-to-many mp engine's estimate transport"
+        )
     if (
         args.checkpoint_every is not None or args.checkpoint_dir is not None
     ) and args.algorithm not in (
@@ -318,6 +333,14 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
                     "pass just one"
                 )
             options["num_hosts"] = args.workers
+        if args.transport is not None:
+            if not engine_is_mp:
+                raise ConfigurationError(
+                    "--transport selects the estimate transport of "
+                    "--engine mp; the in-process engines move no bytes "
+                    "between processes"
+                )
+            options["mp_transport"] = args.transport
         if engine_is_mp and args.mode is None:
             # the only mode a process fleet can replay; an explicit
             # --mode peersim still reaches the config layer's rejection

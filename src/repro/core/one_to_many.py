@@ -273,6 +273,16 @@ class OneToManyConfig:
     #: derived value on slow machines; like ``mp_start_method``, it is
     #: rejected on every other engine.
     mp_reply_timeout: float | None = None
+    #: Estimate transport for ``engine="mp"`` (``None`` means
+    #: ``"queue"`` — per-worker ``multiprocessing.Queue`` inboxes with
+    #: pickled batches). ``"shm"`` moves the estimate hot path into
+    #: per-worker mailbox rings in ``multiprocessing.shared_memory``
+    #: segments sized from the partition's cut structure
+    #: (:mod:`repro.sim.shm_transport`): zero pickling per round, with
+    #: a loud queue-lane fallback if a batch ever outgrows its ring.
+    #: Results are bit-identical across transports; like the other
+    #: ``mp_*`` knobs, rejected on every other engine.
+    mp_transport: str | None = None
     #: Fault tolerance for ``engine="mp"``: a
     #: :class:`~repro.sim.checkpoint.CheckpointPolicy` makes the fleet
     #: snapshot worker state + in-flight mail every N rounds to an
@@ -355,7 +365,12 @@ def run_one_to_many(
     """
     config = config or OneToManyConfig()
     if config.engine != "mp":
-        for knob in ("mp_start_method", "mp_reply_timeout", "checkpoint"):
+        for knob in (
+            "mp_start_method",
+            "mp_reply_timeout",
+            "mp_transport",
+            "checkpoint",
+        ):
             if getattr(config, knob) is not None:
                 raise ConfigurationError(
                     f"{knob}={getattr(config, knob)!r} configures the "
@@ -454,6 +469,8 @@ def run_one_to_many(
     )
     stats.extra["num_hosts"] = assignment.num_hosts
     stats.extra["cut_edges"] = assignment.cut_edges(graph)
+    if assignment.policy == "refined":
+        stats.extra["cut_edges_after_refine"] = stats.extra["cut_edges"]
     finish_run_telemetry(tracer, config.trace_out, stats)
     return DecompositionResult(
         coreness=coreness,

@@ -117,6 +117,8 @@ def run_one_to_many_flat(
     )
     stats.extra["num_hosts"] = assignment.num_hosts
     stats.extra["cut_edges"] = sharded.cut_edges
+    if assignment.policy == "refined":
+        stats.extra["cut_edges_after_refine"] = sharded.cut_edges
     finish_run_telemetry(tracer, config.trace_out, stats)
     return DecompositionResult(
         coreness=engine.coreness(),

@@ -9,7 +9,10 @@ Thin glue between the protocol-level API (:class:`OneToManyConfig`,
 the same ``stats.extra`` keys as the object/flat paths plus the
 mp-specific transport metrics (``pipe_bytes_total`` /
 ``pipe_bytes_per_round`` / ``shard_payload_bytes`` / ``workers`` /
-``start_method``).
+``start_method`` / ``transport``, plus ``shm_bytes_total`` /
+``shm_bytes_per_round`` / ``shm_overflow_batches`` when
+``mp_transport="shm"`` moves the estimate hot path into shared-memory
+mailbox rings).
 
 Configuration contract (all rejections are loud, none silent):
 
@@ -138,6 +141,7 @@ def run_one_to_many_mp(
         strict=strict,
         backend=config.backend,
         start_method=config.mp_start_method or "spawn",
+        transport=config.mp_transport or "queue",
         reply_timeout=config.mp_reply_timeout,
         checkpoint=config.checkpoint,
         fault_plan=fault_plan,
@@ -174,6 +178,7 @@ def run_one_to_many_mp(
     stats.extra["pipe_bytes_total"] = engine.pipe_bytes_total
     stats.extra["pipe_bytes_per_round"] = list(engine.pipe_bytes_per_round)
     stats.extra["shard_payload_bytes"] = list(engine.shard_payload_bytes)
+    _export_transport_extra(stats, engine, assignment)
     _export_recovery_extra(stats, engine)
     finish_run_telemetry(tracer, config.trace_out, stats)
     return DecompositionResult(
@@ -181,6 +186,24 @@ def run_one_to_many_mp(
         stats=stats,
         algorithm=algorithm,
     )
+
+
+def _export_transport_extra(stats, engine, assignment) -> None:
+    """Shm-transport and refined-placement telemetry (when in play).
+
+    ``transport`` is always exported (which lane moved the estimates is
+    part of what executed); the shm byte/overflow counters only when the
+    shm transport ran, and ``cut_edges_after_refine`` only when the
+    placement came from ``policy="refined"`` — mirroring the metric
+    registry's source annotations.
+    """
+    stats.extra["transport"] = engine.transport
+    if engine.transport == "shm":
+        stats.extra["shm_bytes_total"] = engine.shm_bytes_total
+        stats.extra["shm_bytes_per_round"] = list(engine.shm_bytes_per_round)
+        stats.extra["shm_overflow_batches"] = engine.shm_overflow_batches
+    if assignment is not None and assignment.policy == "refined":
+        stats.extra["cut_edges_after_refine"] = stats.extra["cut_edges"]
 
 
 def _export_recovery_extra(stats, engine) -> None:
@@ -237,6 +260,7 @@ def resume_from_checkpoint(
         strict=cfg["strict"] if strict is None else strict,
         backend=cfg["backend"],
         start_method=cfg["start_method"],
+        transport=cfg.get("transport", "queue"),
         checkpoint=CheckpointPolicy(
             every_n_rounds=cfg["checkpoint_every"], dir=dir
         ),
@@ -260,6 +284,9 @@ def resume_from_checkpoint(
     stats.extra["pipe_bytes_total"] = engine.pipe_bytes_total
     stats.extra["pipe_bytes_per_round"] = list(engine.pipe_bytes_per_round)
     stats.extra["shard_payload_bytes"] = list(engine.shard_payload_bytes)
+    # a resumed fleet has no Assignment object; the refined-cut gauge
+    # belongs to the original run's export
+    _export_transport_extra(stats, engine, None)
     _export_recovery_extra(stats, engine)
     finish_run_telemetry(tracer, trace_out, stats)
     return DecompositionResult(

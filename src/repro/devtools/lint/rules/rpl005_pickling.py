@@ -17,6 +17,13 @@ load-bearing:
   rebuilt-on-demand value is a silent divergence between a respawned
   worker and the original. State must be explicit — a direct
   ``self.__dict__`` dump is flagged for the same reason.
+* Shared-memory segment handles (any state name containing ``shm`` or
+  ``mailbox``) must stay out of pickled state entirely: a
+  ``multiprocessing.shared_memory`` mapping is a process-local OS
+  resource — pickling one either fails or, worse, re-attaches in the
+  receiver and silently double-counts the segment with the resource
+  tracker. Workers re-attach by name from the spawn arguments instead
+  (:mod:`repro.sim.shm_transport`).
 
 Statically verifiable shapes (all three live classes use one of them):
 a return of explicit ``self.<attr>`` reads, or a comprehension over a
@@ -63,6 +70,12 @@ def _class_constant_tuple(cls: ast.ClassDef, name: str) -> tuple[str, ...] | Non
     return None
 
 
+def _shm_handle(name: str) -> bool:
+    """Names that smell like shared-memory transport handles."""
+    lowered = name.lower()
+    return "shm" in lowered or "mailbox" in lowered
+
+
 def _self_attr(node: ast.AST) -> str | None:
     if (
         isinstance(node, ast.Attribute)
@@ -103,6 +116,17 @@ def _check_pinned_getstate(
                         "attrs are derived data and must be dropped from "
                         "the pickled state (reset them in __setstate__)",
                     )
+                for leaked in [n for n in names if _shm_handle(n)]:
+                    yield Finding(
+                        CODE,
+                        src.path,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"{cls.name}.__getstate__ ships shared-memory "
+                        f"handle {leaked!r} via {iter_attr}: segment "
+                        "handles are process-local OS resources — workers "
+                        "re-attach by name, never through a pickle",
+                    )
                 continue
         for sub in ast.walk(value):
             attr = _self_attr(sub)
@@ -127,6 +151,17 @@ def _check_pinned_getstate(
                     f"{cls.name}.__getstate__ ships cache attribute "
                     f"self.{attr}: lazy/underscore attrs are derived data "
                     "and must be dropped from the pickled state",
+                )
+            elif _shm_handle(attr):
+                yield Finding(
+                    CODE,
+                    src.path,
+                    sub.lineno,
+                    sub.col_offset,
+                    f"{cls.name}.__getstate__ ships shared-memory handle "
+                    f"self.{attr}: segment handles are process-local OS "
+                    "resources — workers re-attach by name, never through "
+                    "a pickle",
                 )
 
 

@@ -301,6 +301,39 @@ class KernelBackend(Protocol):
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # shared-memory transport primitives (mp engine, transport="shm")
+    # ------------------------------------------------------------------
+    def shm_view(self, buf, n: int) -> Table:
+        """An i64 view of the first ``n`` words of a shared buffer.
+
+        ``buf`` is a ``multiprocessing.shared_memory`` block's ``buf``
+        memoryview; the result is the backend's native zero-copy window
+        over it (``memoryview.cast("q")`` / ``np.ndarray(buffer=...)``)
+        for :meth:`shm_write_i64` / :meth:`shm_read_i64`. The view
+        borrows the mapping — callers keep the segment object alive for
+        the view's lifetime and never close it underneath.
+        """
+        raise NotImplementedError
+
+    def shm_write_i64(self, view: Table, start: int, values) -> None:
+        """Write ``values`` (a builtin int sequence) at ``view[start:]``.
+
+        One block write on either backend — this is the whole sender
+        side of the shm hot path, replacing the queue transport's
+        per-batch pickling.
+        """
+        raise NotImplementedError
+
+    def shm_read_i64(self, view: Table, start: int, count: int) -> list[int]:
+        """Read ``count`` words at ``view[start:]`` as builtin ``int``\\ s.
+
+        Builtin ints by contract: the result feeds the same
+        :meth:`fold_mailbox` path as an unpickled queue batch, and the
+        bit-identical replay requires identical payload types.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
     # bulk-synchronous sweeps (h-index / Pregel baselines)
     # ------------------------------------------------------------------
     def hindex_sweep(

@@ -303,6 +303,20 @@ class NumpyBackend(KernelBackend):
         return cand[sup[cand] < est[cand]]
 
     # ------------------------------------------------------------------
+    # shared-memory transport primitives
+    # ------------------------------------------------------------------
+    def shm_view(self, buf, n: int):
+        return np.ndarray((n,), dtype=_I64, buffer=buf)
+
+    def shm_write_i64(self, view, start: int, values) -> None:
+        view[start:start + len(values)] = np.asarray(values, dtype=_I64)
+
+    def shm_read_i64(self, view, start: int, count: int):
+        # .tolist() yields builtin ints — the bit-identical-payload
+        # contract of the backend protocol
+        return view[start:start + count].tolist()
+
+    # ------------------------------------------------------------------
     # bulk-synchronous sweeps
     # ------------------------------------------------------------------
     def hindex_sweep(self, offsets, targets, values, scratch):

@@ -241,6 +241,19 @@ class StdlibBackend(KernelBackend):
         return dirty
 
     # ------------------------------------------------------------------
+    # shared-memory transport primitives
+    # ------------------------------------------------------------------
+    def shm_view(self, buf, n: int):
+        return memoryview(buf).cast("q")[:n]
+
+    def shm_write_i64(self, view, start: int, values) -> None:
+        # one buffer-protocol block copy; matches the view's "q" format
+        view[start:start + len(values)] = array("q", values)
+
+    def shm_read_i64(self, view, start: int, count: int):
+        return view[start:start + count].tolist()
+
+    # ------------------------------------------------------------------
     # bulk-synchronous sweeps
     # ------------------------------------------------------------------
     def hindex_sweep(self, offsets, targets, values, scratch):

@@ -32,6 +32,33 @@ arbitrarily, so a worker pulling its round-``r`` mail may receive a
 fast neighbour's round-``r+1`` batch early and holds it back until the
 coordinator opens that round.
 
+**Transports.** The queue path above is the default
+(``transport="queue"``). ``transport="shm"`` keeps the same topology
+and protocol but moves the estimate hot path into per-worker
+double-buffered mailbox rings in ``multiprocessing.shared_memory``
+segments (:mod:`repro.sim.shm_transport`): senders write fixed-width
+``(round, dest_slot, estimate)`` records directly into the destination
+worker's inbound segment and the lockstep barrier is the buffer flip —
+zero pickling, no feeder threads, no blocking receives (by the time a
+round is dispatched, all of its ring writes have completed). Rings are
+sized from the partition's :meth:`~repro.graph.sharded.ShardedCSR.
+cut_matrix` upper bounds; a batch that exceeds its ring's capacity
+(possible only when tests shrink it via ``shm_max_records``) takes a
+loud-fallback *overflow lane* over the existing queue path, counted in
+:attr:`MultiProcessOneToManyEngine.shm_overflow_batches`. The receive
+path drains the ring first, then the queue, under the same round-tag +
+per-sender dedupe — so ring mail, overflow mail and recovery re-sends
+compose, and ``pipe_bytes_total`` measures exactly the pickled residue
+(zero on the happy path). Recovery is unchanged in shape: segments are
+coordinator-owned, so they survive a worker's death and the
+replacement finds the stuck round's rings intact; resend buffers hold
+raw ``(round, slots, vals)`` tuples that survivors pickle on demand
+over the queue lane (ring tags from replayed rounds are stale by
+construction, so replays are fed by the queue exactly as before).
+Checkpoint snapshots still drain expected mail — from the ring and the
+queue both — so ``CheckpointWriter`` and ``resume_from_checkpoint``
+work identically on either transport.
+
 **Semantics.** The engine is an exact replay of
 :class:`~repro.sim.flat_many_engine.FlatOneToManyEngine` under
 ``mode="lockstep"`` — same coreness, executed rounds, per-round send
@@ -127,6 +154,11 @@ from repro.sim.checkpoint import CheckpointPolicy, CheckpointWriter
 from repro.sim.faults import KILL_EXIT_CODE, FaultPlan, WorkerFaults
 from repro.sim.kernels import export_send_counts, resolve_backend
 from repro.sim.metrics import SimulationStats
+from repro.sim.shm_transport import (
+    attach_mailbox,
+    build_shm_layout,
+    create_segments,
+)
 from repro.sim.tracing import diff_round, reference_slice
 from repro.telemetry.merge import merge_worker_buffers
 from repro.telemetry.spans import NULL_TRACER, Tracer, resolve_tracer
@@ -134,6 +166,7 @@ from repro.telemetry.spans import NULL_TRACER, Tracer, resolve_tracer
 __all__ = [
     "MultiProcessOneToManyEngine",
     "START_METHODS",
+    "TRANSPORTS",
     "default_reply_timeout",
 ]
 
@@ -143,6 +176,11 @@ __all__ = [
 #: much cheaper to start on POSIX and produces identical results (the
 #: protocol is deterministic), so test grids use it.
 START_METHODS = ("spawn", "fork", "forkserver")
+
+#: Estimate transports: pickled batches over per-worker queues
+#: (default) or zero-copy mailbox rings in shared memory (see the
+#: module docstring and :mod:`repro.sim.shm_transport`).
+TRANSPORTS = ("queue", "shm")
 
 # control-plane opcodes (coordinator -> worker)
 _INIT = 0  # run round 1 (Algorithm 3 on_init), emit initial batches
@@ -235,10 +273,21 @@ class _ShardWorker:
         #: folded round (stale queue content + recovery re-sends) are
         #: discarded on receipt
         self.folded_through = 0
-        #: per-recipient resend buffer: ``{dest: [(deliver_round,
-        #: payload), ...]}``, kept only when ``resilient`` and pruned at
-        #: every checkpoint — the replay window a recovery can need
+        #: per-recipient resend buffer, kept only when ``resilient`` and
+        #: pruned at every checkpoint — the replay window a recovery can
+        #: need. Queue transport buffers the pickled payloads
+        #: (``{dest: [(deliver_round, payload), ...]}``); shm transport
+        #: buffers raw ``(deliver_round, slots, vals)`` tuples that the
+        #: ``_RESEND`` handler pickles on demand (re-sends always travel
+        #: the queue lane — ring buffers from replayed rounds are long
+        #: overwritten or stale-tagged)
         self.resend: dict[int, list] = {}
+        #: shm transport only: the worker's
+        #: :class:`~repro.sim.shm_transport.ShmMailbox` (attached by
+        #: ``_worker_main`` once the backend is resolved). ``None``
+        #: selects the queue transport. A process-local OS handle —
+        #: never pickled, never part of a snapshot.
+        self.mailbox = None
         #: worker-local span buffer (pure observer; NULL_TRACER when
         #: telemetry is off, so the hot path pays one attribute lookup)
         self.tracer = tracer
@@ -333,16 +382,17 @@ class _ShardWorker:
 
     # -- transmit (Algorithm 3's S / Algorithm 5's per-host subsets),
     # identical accounting to FlatOneToManyEngine.emit; returns
-    # (messages sent, {dest: 1}, serialized bytes) for the round report.
-    # ``transport=False`` (recovery replay) keeps every counter and the
-    # resend buffer exact but skips the physical queue puts — the
-    # live fleet already received these batches.
+    # (messages sent, {dest: 1}, pickled bytes, ring bytes, overflow
+    # batches) for the round report. ``transport=False`` (recovery
+    # replay) keeps every counter and the resend buffer exact but skips
+    # the physical queue puts / ring writes — the live fleet already
+    # received these batches.
     def _emit(self, deliver_round: int, updates: list, transport: bool = True) -> tuple:
         shard = self.shard
         neighbor_hosts = shard.neighbor_hosts
         if not updates or not neighbor_hosts:
             # nothing "has to be sent to another host" (Figure 5)
-            return 0, {}, 0
+            return 0, {}, 0, 0, 0
         deliver = shard.deliver
         x = self.host
         out_slots: dict[int, list[int]] = {}
@@ -403,25 +453,58 @@ class _ShardWorker:
         nbytes = 0
         inboxes = self.inboxes
         faults = self.faults
-        with self.tracer.span("emit.serialize", dests=len(dests)) as span:
+        mailbox = self.mailbox
+        if mailbox is None:
+            with self.tracer.span("emit.serialize", dests=len(dests)) as span:
+                for y in dests:
+                    payload = pickle.dumps(
+                        (deliver_round, x, out_slots.get(y, ()), out_vals.get(y, ())),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                    nbytes += len(payload)
+                    if self.resilient:
+                        self.resend.setdefault(y, []).append((deliver_round, payload))
+                    if transport:
+                        # the emitting round is deliver_round - 1 (lockstep)
+                        if (
+                            faults is None
+                            or faults.on_transport(deliver_round - 1, y) != "drop"
+                        ):
+                            inboxes[y].put(payload)
+                    per_dest[y] = 1
+                span.note(nbytes=nbytes)
+            return len(dests), per_dest, nbytes, 0, 0
+        # shm transport: write each batch straight into the destination
+        # ring; a batch over its ring's capacity takes the pickled
+        # overflow lane over the same queue the queue transport uses
+        shm_nbytes = 0
+        overflow = 0
+        with self.tracer.span("emit.shm_write", dests=len(dests)) as span:
             for y in dests:
-                payload = pickle.dumps(
-                    (deliver_round, x, out_slots.get(y, ()), out_vals.get(y, ())),
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                )
-                nbytes += len(payload)
+                slots = out_slots.get(y, ())
+                vals = out_vals.get(y, ())
                 if self.resilient:
-                    self.resend.setdefault(y, []).append((deliver_round, payload))
-                if transport:
-                    # the emitting round is deliver_round - 1 (lockstep)
-                    if (
-                        faults is None
-                        or faults.on_transport(deliver_round - 1, y) != "drop"
-                    ):
+                    self.resend.setdefault(y, []).append(
+                        (deliver_round, slots, vals)
+                    )
+                if transport and (
+                    faults is None
+                    or faults.on_transport(deliver_round - 1, y) != "drop"
+                ):
+                    written = mailbox.write(y, deliver_round, slots, vals)
+                    if written is None:
+                        payload = pickle.dumps(
+                            (deliver_round, x, slots, vals),
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        )
+                        nbytes += len(payload)
+                        overflow += 1
                         inboxes[y].put(payload)
+                    else:
+                        shm_nbytes += written
                 per_dest[y] = 1
-            span.note(nbytes=nbytes)
-        return len(dests), per_dest, nbytes
+            span.note(nbytes=shm_nbytes, overflow=overflow)
+        return len(dests), per_dest, nbytes, shm_nbytes, overflow
 
     def prune_resend(self, through_round: int) -> None:
         """Drop buffered payloads a post-checkpoint replay cannot need."""
@@ -490,7 +573,7 @@ class _ShardWorker:
                     )
         clist = self.changed_list
         if not clist:
-            return 0, {}, 0
+            return 0, {}, 0, 0, 0
         report = self._emit(
             deliver_round, [(u, int(est[u])) for u in clist],
             transport=transport,
@@ -512,9 +595,27 @@ class _ShardWorker:
         or a recovery re-send the backlog already covered) is
         discarded; and within a round at most one batch per sender is
         kept — the dedup that makes recovery re-sends idempotent.
+
+        On the shm transport the ring is drained first — its tags are
+        exact (parity double-buffering means a region's tag equals
+        ``rnd`` iff it carries this round's batch), so ring reads never
+        block — and the queue loop then covers only the residue:
+        overflow batches and recovery re-sends. The per-sender dedupe
+        spans both sources, so a re-send duplicating a ring batch (or
+        a checkpoint backlog) is discarded exactly like before.
         """
         held = self.held
         batches = held.pop(rnd, [])
+        mailbox = self.mailbox
+        if mailbox is not None and len(batches) < expect:
+            with self.tracer.span("mail.shm_read", round=rnd) as span:
+                found = 0
+                for sender, slots, vals in mailbox.read(rnd):
+                    if any(b[1] == sender for b in batches):
+                        continue
+                    batches.append((rnd, sender, slots, vals))
+                    found += 1
+                span.note(batches=found)
         while len(batches) < expect:
             msg = pickle.loads(self._inbox_get(inbox))
             r = msg[0]
@@ -533,10 +634,19 @@ class _ShardWorker:
 
         The checkpoint barrier uses this so a snapshot carries every
         in-flight batch — afterwards the queues are empty and the
-        snapshot is self-contained.
+        snapshot is self-contained. On the shm transport the ring is
+        drained into the backlog first (same dedupe as :meth:`pull`):
+        in-flight mail must live in the snapshot, not in a segment a
+        whole-fleet resume would re-create from scratch.
         """
         held = self.held
         bucket = held.setdefault(rnd, [])
+        mailbox = self.mailbox
+        if mailbox is not None and len(bucket) < expect:
+            for sender, slots, vals in mailbox.read(rnd):
+                if any(b[1] == sender for b in bucket):
+                    continue
+                bucket.append((rnd, sender, slots, vals))
         while len(bucket) < expect:
             msg = pickle.loads(self._inbox_get(inbox))
             r = msg[0]
@@ -597,6 +707,7 @@ def _worker_main(
     restore_blob: "bytes | None",
     telemetry: bool = False,
     record_blob: "bytes | None" = None,
+    shm_info: "tuple | None" = None,
 ) -> None:
     """Worker process entry point (module-level: spawn-picklable).
 
@@ -608,6 +719,15 @@ def _worker_main(
     :meth:`_ShardWorker.snapshot` to adopt before the command loop;
     ``faults_blob`` is this worker's slice of a
     :class:`~repro.sim.faults.FaultPlan`.
+
+    ``shm_info`` (shm transport only) is ``(segment names, ShmLayout)``
+    — the worker attaches every fleet segment by name and builds its
+    :class:`~repro.sim.shm_transport.ShmMailbox` over the resolved
+    kernel backend. Attached segments are deliberately never closed in
+    the worker (live buffer exports forbid it; process exit reclaims
+    the mapping) and never unlinked (the coordinator owns the
+    lifecycle — that ownership is what lets a respawned replacement
+    find the stuck round's rings intact).
 
     ``telemetry`` arms a worker-local :class:`~repro.telemetry.Tracer`
     (lane ``worker-<host>``) whose buffer ships up the control pipe on
@@ -621,6 +741,7 @@ def _worker_main(
     reported up the control pipe as ``("error", traceback)`` so the
     coordinator can fail loudly instead of hanging.
     """
+    mailbox = None
     try:
         faults = pickle.loads(faults_blob) if faults_blob else None
         tracer = Tracer(lane=f"worker-{host}") if telemetry else NULL_TRACER
@@ -629,6 +750,10 @@ def _worker_main(
             p2p_filter, backend, infinity, inboxes,
             resilient=resilient, faults=faults, tracer=tracer,
         )
+        if shm_info is not None:
+            names, layout = shm_info
+            mailbox = attach_mailbox(worker.kb, layout, names, host)
+            worker.mailbox = mailbox
         if restore_blob is not None:
             worker.restore(restore_blob)
         if record_blob is not None:
@@ -675,8 +800,18 @@ def _worker_main(
                 count = 0
                 nbytes = 0
                 with tracer.span("recovery.resend", dest=dest):
-                    for deliver_round, payload in worker.resend.get(dest, ()):
-                        if deliver_round > from_round:
+                    for item in worker.resend.get(dest, ()):
+                        if item[0] > from_round:
+                            if worker.mailbox is None:
+                                payload = item[1]
+                            else:
+                                # shm buffers raw (round, slots, vals);
+                                # re-sends travel the queue lane, so
+                                # pickle into the wire payload now
+                                payload = pickle.dumps(
+                                    (item[0], host, item[1], item[2]),
+                                    protocol=pickle.HIGHEST_PROTOCOL,
+                                )
                             inboxes[dest].put(payload)
                             count += 1
                             nbytes += len(payload)
@@ -713,6 +848,11 @@ def _worker_main(
             conn.send(("error", traceback.format_exc()))
         except (BrokenPipeError, OSError):  # pragma: no cover
             pass
+    finally:
+        # release the shm views before interpreter teardown — __del__
+        # order would otherwise close mappings under live exports
+        if mailbox is not None:
+            mailbox.detach()
 
 
 class MultiProcessOneToManyEngine:
@@ -736,6 +876,16 @@ class MultiProcessOneToManyEngine:
         arrays never cross a pipe.
     start_method:
         ``multiprocessing`` start method (default ``"spawn"``).
+    transport:
+        ``"queue"`` (default; pickled batches over per-worker queues)
+        or ``"shm"`` (zero-copy mailbox rings in shared memory — see
+        the module docstring and :mod:`repro.sim.shm_transport`).
+        Replay is bit-identical on either.
+    shm_max_records:
+        Test knob: clamp every shm ring's per-round record capacity to
+        force the overflow lane. ``None`` (default) sizes rings from
+        the exact cut-structure upper bounds, where overflow cannot
+        occur. Only meaningful with ``transport="shm"``.
     reply_timeout:
         Seconds the coordinator waits for any single worker round
         report before the failure detector fires. ``None`` derives a
@@ -776,9 +926,13 @@ class MultiProcessOneToManyEngine:
 
     After :meth:`run`: :meth:`coreness`, :attr:`estimates_sent` (per
     host), :attr:`pipe_bytes_per_round` / :attr:`pipe_bytes_total` (the
-    serialized host-to-host traffic; control-plane chatter excluded),
-    :attr:`recoveries` (one event dict per recovered worker) and
-    :attr:`checkpoint_bytes` (total snapshot bytes committed).
+    serialized host-to-host traffic; control-plane chatter excluded —
+    on the shm transport this is the overflow-lane residue, zero on
+    the happy path), :attr:`shm_bytes_per_round` /
+    :attr:`shm_bytes_total` / :attr:`shm_overflow_batches` (ring
+    traffic; empty/zero on the queue transport), :attr:`recoveries`
+    (one event dict per recovered worker) and :attr:`checkpoint_bytes`
+    (total snapshot bytes committed).
     """
 
     def __init__(
@@ -792,6 +946,8 @@ class MultiProcessOneToManyEngine:
         strict: bool = True,
         backend: str = "stdlib",
         start_method: str = "spawn",
+        transport: str = "queue",
+        shm_max_records: "int | None" = None,
         reply_timeout: "float | None" = None,
         checkpoint: "CheckpointPolicy | None" = None,
         fault_plan: "FaultPlan | None" = None,
@@ -825,6 +981,23 @@ class MultiProcessOneToManyEngine:
                 f"unknown start method {start_method!r}; "
                 f"options: {list(START_METHODS)}"
             )
+        if transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"unknown transport {transport!r}; "
+                f"options: {list(TRANSPORTS)}"
+            )
+        if shm_max_records is not None:
+            if transport != "shm":
+                raise ConfigurationError(
+                    "shm_max_records clamps the shared-memory ring "
+                    "capacity and is only meaningful with "
+                    f"transport='shm', got transport={transport!r}"
+                )
+            if shm_max_records < 0:
+                raise ConfigurationError(
+                    "shm_max_records must be >= 0, got "
+                    f"{shm_max_records!r}"
+                )
         if checkpoint is not None and not isinstance(
             checkpoint, CheckpointPolicy
         ):
@@ -851,6 +1024,8 @@ class MultiProcessOneToManyEngine:
         self.max_rounds = max_rounds
         self.strict = strict
         self.start_method = start_method
+        self.transport = transport
+        self.shm_max_records = shm_max_records
         if reply_timeout is not None and reply_timeout <= 0:
             raise ConfigurationError(
                 f"reply_timeout must be positive, got {reply_timeout!r}"
@@ -879,6 +1054,13 @@ class MultiProcessOneToManyEngine:
         #: Serialized host-to-host bytes per round (index 0 == round 1).
         self.pipe_bytes_per_round: list[int] = []
         self.pipe_bytes_total: int = 0
+        #: Ring bytes written per round / total (shm transport only —
+        #: empty/zero on the queue transport).
+        self.shm_bytes_per_round: list[int] = []
+        self.shm_bytes_total: int = 0
+        #: Batches that exceeded their ring's capacity and fell back to
+        #: the pickled queue lane (possible only under shm_max_records).
+        self.shm_overflow_batches: int = 0
         #: Pickled size of each worker's shard payload (what start-up
         #: serialization actually shipped) — the cost the config-layer
         #: guard warns about.
@@ -947,6 +1129,7 @@ class MultiProcessOneToManyEngine:
                 self.resilient, faults_blob, restore_blob,
                 self.tracer.enabled,
                 None if self._record_blobs is None else self._record_blobs[x],
+                self._shm_info,
             ),
             daemon=True,
             name=f"kcore-shard-{x}",
@@ -1171,6 +1354,8 @@ class MultiProcessOneToManyEngine:
                 "execution_time": self.stats.execution_time,
                 "sent_msgs": list(sent_msgs),
                 "pipe_bytes_per_round": list(pipe_bytes),
+                "shm_bytes_per_round": list(self.shm_bytes_per_round),
+                "shm_overflow_batches": self.shm_overflow_batches,
                 "recoveries": list(self.recoveries),
             }
             config = {
@@ -1182,6 +1367,7 @@ class MultiProcessOneToManyEngine:
                 "start_method": self.start_method,
                 "max_rounds": self.max_rounds,
                 "strict": self.strict,
+                "transport": self.transport,
                 "checkpoint_every": self.checkpoint.every_n_rounds,
                 **self.checkpoint_meta,
             }
@@ -1231,6 +1417,17 @@ class MultiProcessOneToManyEngine:
                 pass
             inbox.cancel_join_thread()
             inbox.close()
+        # the coordinator owns the shm segment lifecycle: close its
+        # mapping and unlink the name once every worker is reaped (the
+        # workers' mappings die with their processes). getattr: shutdown
+        # also runs on exceptions raised before run() created any.
+        for seg in getattr(self, "_shm_segments", ()):
+            try:
+                seg.close()
+                seg.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+        self._shm_segments = []
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationStats:
@@ -1248,6 +1445,8 @@ class MultiProcessOneToManyEngine:
         self._inboxes: list = []
         self._conns = []
         self._procs = []
+        self._shm_segments: list = []
+        self._shm_info: "tuple | None" = None
         self.shard_payload_bytes = []
         self._ckpt_writer = (
             CheckpointWriter(self.checkpoint.dir) if self.checkpoint else None
@@ -1256,6 +1455,7 @@ class MultiProcessOneToManyEngine:
         resume = self._resume
         sent_msgs = array("q", [0]) * num_hosts
         pipe_bytes = self.pipe_bytes_per_round = []
+        shm_bytes = self.shm_bytes_per_round = []
         all_hosts = range(num_hosts)
         tracer = self.tracer
         recorders = self.recorders
@@ -1284,7 +1484,7 @@ class MultiProcessOneToManyEngine:
                 0 if rec.reference is not None else None for rec in recorders
             ]
             for x in all_hosts:
-                shard_changed, shard_errors = reports[x][4]
+                shard_changed, shard_errors = reports[x][6]
                 changed += shard_changed
                 for j, err in enumerate(shard_errors):
                     if err is not None:
@@ -1299,6 +1499,21 @@ class MultiProcessOneToManyEngine:
             # pickled exactly once — the blob is both the wire payload
             # and the shard_payload_bytes metric.
             self._inboxes.extend(self._ctx.Queue() for _ in all_hosts)
+            if self.transport == "shm":
+                # coordinator-owned segments: created before the fleet,
+                # unlinked after it — they survive any worker's death,
+                # which is what keeps in-flight recovery working
+                layout = build_shm_layout(sharded, self.shm_max_records)
+                with tracer.span(
+                    "shm.create",
+                    segments=num_hosts,
+                    nbytes=sum(layout.seg_bytes),
+                ):
+                    self._shm_segments = create_segments(layout)
+                self._shm_info = (
+                    [seg.name for seg in self._shm_segments],
+                    layout,
+                )
             with tracer.span("spawn", workers=num_hosts):
                 for x in all_hosts:
                     self._spawn_worker(
@@ -1331,6 +1546,8 @@ class MultiProcessOneToManyEngine:
                 for x, count in enumerate(co["sent_msgs"]):
                     sent_msgs[x] = count
                 pipe_bytes.extend(co["pipe_bytes_per_round"])
+                shm_bytes.extend(co.get("shm_bytes_per_round", ()))
+                self.shm_overflow_batches = co.get("shm_overflow_batches", 0)
                 self.recoveries.extend(co.get("recoveries", ()))
                 self.resumed_from_round = rnd
                 self._ckpt_round = rnd
@@ -1346,19 +1563,25 @@ class MultiProcessOneToManyEngine:
                         self._conns[x].send((_INIT, rnd + 1))
                     sends = 0
                     round_bytes = 0
+                    round_shm = 0
                     expect = [0] * num_hosts  # per-dest counts, next round
                     reports = self._round_barrier(rnd)
                     for x in all_hosts:
-                        _tag, sent, per_dest, nbytes = reports[x][:4]
+                        _tag, sent, per_dest, nbytes, shm_nb, over = (
+                            reports[x][:6]
+                        )
                         sends += sent
                         sent_msgs[x] += sent
                         round_bytes += nbytes
+                        round_shm += shm_nb
+                        self.shm_overflow_batches += over
                         for y, count in per_dest.items():
                             expect[y] += count
                     round_span.note(sends=sends)
                 pending = sends
                 stats.sends_per_round.append(sends)
                 pipe_bytes.append(round_bytes)
+                shm_bytes.append(round_shm)
                 if sends:
                     stats.execution_time += 1
                 record_round(rnd, sends, reports)
@@ -1381,18 +1604,24 @@ class MultiProcessOneToManyEngine:
                     expect = [0] * num_hosts
                     sends = 0
                     round_bytes = 0
+                    round_shm = 0
                     reports = self._round_barrier(rnd)
                     for x in all_hosts:
-                        _tag, sent, per_dest, nbytes = reports[x][:4]
+                        _tag, sent, per_dest, nbytes, shm_nb, over = (
+                            reports[x][:6]
+                        )
                         sends += sent
                         sent_msgs[x] += sent
                         round_bytes += nbytes
+                        round_shm += shm_nb
+                        self.shm_overflow_batches += over
                         for y, count in per_dest.items():
                             expect[y] += count
                     round_span.note(sends=sends)
                 pending += sends - delivered
                 stats.sends_per_round.append(sends)
                 pipe_bytes.append(round_bytes)
+                shm_bytes.append(round_shm)
                 if sends:
                     stats.execution_time += 1
                 record_round(rnd, sends, reports)
@@ -1438,6 +1667,7 @@ class MultiProcessOneToManyEngine:
 
         export_send_counts(stats, sent_msgs)
         self.pipe_bytes_total = sum(pipe_bytes)
+        self.shm_bytes_total = sum(shm_bytes)
         stats.wall_seconds = _time.perf_counter() - start
         if not stats.converged and self.strict:
             raise ConvergenceError(stats.rounds_executed)

@@ -95,6 +95,30 @@ _SPECS = (
         "mp", "pickled HostShard size shipped to each worker at spawn",
     ),
     MetricSpec(
+        "transport", "gauge", "str", "label",
+        "mp", "estimate transport actually used (queue/shm)",
+    ),
+    MetricSpec(
+        "shm_bytes_total", "counter", "int", "bytes",
+        "mp (shm transport)",
+        "estimate bytes written into shared-memory mailbox rings",
+    ),
+    MetricSpec(
+        "shm_bytes_per_round", "histogram", "list[int]", "bytes",
+        "mp (shm transport)",
+        "per-round series of ring bytes (barrier-aligned)",
+    ),
+    MetricSpec(
+        "shm_overflow_batches", "counter", "int", "batches",
+        "mp (shm transport)",
+        "batches that outgrew their ring and fell back to the queue lane",
+    ),
+    MetricSpec(
+        "cut_edges_after_refine", "gauge", "int", "edges",
+        "one-to-many (policy='refined')",
+        "cut edges under the greedily refined placement (== cut_edges)",
+    ),
+    MetricSpec(
         "recoveries", "event", "list[dict]", "events",
         "mp (fault-tolerant runs)",
         "one event dict per recovered worker (host, round, cause)",

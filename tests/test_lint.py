@@ -483,6 +483,34 @@ class TestRPL005Pickling:
         )
         assert "self.__dict__" in lint_one("src/repro/graph/sharded.py", text)[0].message
 
+    def test_pinned_shm_handle_flagged(self):
+        # a SharedMemory mapping is a process-local OS resource: workers
+        # re-attach by segment name, never through a pickle
+        text = (
+            "class HostShard:\n"
+            "    def __getstate__(self):\n"
+            "        return (self.host, self.shm)\n"
+            "    def __setstate__(self, state):\n"
+            "        self.host, self.shm = state\n"
+        )
+        found = lint_one("src/repro/graph/sharded.py", text)
+        assert codes(found) == ["RPL005"]
+        assert "self.shm" in found[0].message
+        assert "re-attach by name" in found[0].message
+
+    def test_pinned_slot_tuple_shm_handle_flagged(self):
+        text = (
+            "class HostShard:\n"
+            '    _PICKLED_SLOTS = ("host", "shm_mailbox")\n'
+            "    def __getstate__(self):\n"
+            "        return {n: getattr(self, n) for n in self._PICKLED_SLOTS}\n"
+            "    def __setstate__(self, state):\n"
+            "        pass\n"
+        )
+        found = lint_one("src/repro/graph/sharded.py", text)
+        assert codes(found) == ["RPL005"]
+        assert "'shm_mailbox'" in found[0].message
+
     def test_unpinned_class_state_not_screened(self):
         # only the mp-pinned classes get the cache-attr screen
         text = (
