@@ -6,6 +6,9 @@ Subcommands:
   synthetic dataset) with any of the implemented algorithms.
 * ``stats`` — print the Table-1-style structural summary of a graph.
 * ``table1`` — regenerate the paper's Table 1 over the dataset registry.
+* ``churn`` — replay a synthetic churn trace through a streaming
+  maintenance engine (``--engine flat --backend numpy`` for the
+  dynamic-CSR fast path) and report the maintenance cost.
 * ``datasets`` — list the registered dataset stand-ins.
 """
 
@@ -135,6 +138,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the repetitions on the object or the flat CSR engine "
         "(bit-identical results; flat is faster at scale)",
     )
+
+    churn = sub.add_parser(
+        "churn",
+        help="replay a synthetic churn trace through a maintenance engine",
+    )
+    churn_source = churn.add_mutually_exclusive_group(required=True)
+    churn_source.add_argument("--edges", help="path to a SNAP-style edge list")
+    churn_source.add_argument("--dataset", help="name of a registered dataset")
+    churn.add_argument("--scale", type=float, default=0.3,
+                       help="dataset scale factor (synthetic datasets only)")
+    churn.add_argument("--seed", type=int, default=0,
+                       help="seeds both the graph and the trace")
+    churn.add_argument("--duration", type=float, default=100.0,
+                       help="simulated seconds of churn")
+    churn.add_argument("--join-rate", type=float, default=0.5)
+    churn.add_argument("--mean-session", type=float, default=60.0)
+    churn.add_argument("--rewire-rate", type=float, default=0.3)
+    churn.add_argument(
+        "--engine", default="flat", choices=("object", "flat"),
+        help="maintenance engine: the object-graph oracle or the "
+        "dynamic-CSR flat engine (default flat; bit-identical coreness)",
+    )
+    churn.add_argument(
+        "--backend", default=None, choices=("stdlib", "numpy"),
+        help="kernel backend for --engine flat (default stdlib)",
+    )
+    churn.add_argument(
+        "--batch-size", type=int, default=64, metavar="N",
+        help="events per apply_events batch on the flat engine "
+        "(the object oracle always replays per-event)",
+    )
+    churn.add_argument(
+        "--verify-every", type=int, default=None, metavar="N",
+        help="cross-check against full recomputation every N events "
+        "(slow; for spot checks)",
+    )
+    churn.add_argument(
+        "--telemetry", action="store_true",
+        help="trace the replay (churn.apply_batch / kernel.reconverge / "
+        "csr.compact spans) and print a span summary table",
+    )
+    churn.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the collected trace to PATH (Chrome trace-event "
+        "JSON, or JSON Lines when PATH ends in .jsonl); implies "
+        "--telemetry",
+    )
+    churn.add_argument("--top", type=int, default=10,
+                       help="print the TOP nodes by final coreness")
 
     sub.add_parser("datasets", help="list registered datasets")
 
@@ -487,6 +539,77 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_churn(args: argparse.Namespace) -> int:
+    from repro.workloads import generate_churn_trace, replay_trace
+
+    if args.backend is not None and args.engine != "flat":
+        raise ConfigurationError(
+            "--backend selects the flat engine's kernel backend; the "
+            "object oracle runs no kernels — use --engine flat"
+        )
+    graph = _load_graph(args)
+    trace = generate_churn_trace(
+        graph,
+        duration=args.duration,
+        join_rate=args.join_rate,
+        mean_session=args.mean_session,
+        rewire_rate=args.rewire_rate,
+        seed=args.seed,
+    )
+    counts = trace.counts()
+    print(
+        f"graph: {graph.name or 'stdin'}  nodes={graph.num_nodes} "
+        f"edges={graph.num_edges}"
+    )
+    print(
+        f"trace: {len(trace)} events  "
+        + "  ".join(f"{k}={counts.get(k, 0)}"
+                    for k in ("join", "leave", "link", "unlink"))
+    )
+    tracer = None
+    if args.telemetry or args.trace_out:
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+    engine = replay_trace(
+        trace,
+        engine=args.engine,
+        verify_every=args.verify_every,
+        backend=args.backend,
+        batch_size=args.batch_size,
+        telemetry=tracer,
+    )
+    metrics = engine.metrics
+    batches = metrics["dirty_nodes_per_batch"]
+    rows: "list[tuple[str, object]]" = [
+        ("engine", args.engine
+         + (f" ({engine.backend.name})" if args.engine == "flat" else "")),
+        ("edits applied", metrics["edits_applied"]),
+        ("dirty nodes total", metrics["dirty_nodes_total"]),
+        ("batches", len(batches)),
+        ("max dirty/batch", max(batches, default=0)),
+    ]
+    if args.engine == "flat":
+        rounds = metrics["reconverge_rounds_per_batch"]
+        rows += [
+            ("reconverge rounds", sum(rounds)),
+            ("compactions", metrics["compactions"]),
+        ]
+    print(format_table(("metric", "value"), rows, title="maintenance cost"))
+    coreness = engine.coreness
+    top = sorted(coreness, key=lambda u: (-coreness[u], u))[:args.top]
+    print(format_table(
+        ("node", "coreness"), [(u, coreness[u]) for u in top],
+        title="top nodes (final)",
+    ))
+    if tracer is not None:
+        from repro.telemetry import finish_run_telemetry
+
+        finish_run_telemetry(tracer, args.trace_out)
+    _print_telemetry(tracer, args.trace_out)
+    return 0
+
+
 def _cmd_datasets(_args: argparse.Namespace) -> int:
     from repro.datasets import PAPER_DATASETS
 
@@ -528,6 +651,7 @@ _COMMANDS = {
     "decompose": _cmd_decompose,
     "stats": _cmd_stats,
     "table1": _cmd_table1,
+    "churn": _cmd_churn,
     "datasets": _cmd_datasets,
     "fingerprint": _cmd_fingerprint,
 }

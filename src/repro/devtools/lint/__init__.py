@@ -22,6 +22,9 @@ RPL005    ``__getstate__``/``__setstate__`` pairing; mp-pinned classes
           keep lazy caches out of their pickled state
 RPL006    checkpoint writes flow through the tmp→fsync→rename commit
           helper
+RPL007    flat streaming modules never import the object graph at
+          module scope (``streaming/maintenance.py`` — the oracle —
+          excepted)
 ========  ==========================================================
 
 Usage::

@@ -22,7 +22,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.devtools.lint",
         description=(
             "replay-lint: enforce the bit-identical-replay invariants "
-            "(RPL001-RPL006) over the given files/directories."
+            "(RPL001-RPL007) over the given files/directories."
         ),
     )
     parser.add_argument(

@@ -12,4 +12,5 @@ from repro.devtools.lint.rules import (  # noqa: F401  (registration side effect
     rpl004_config_coverage,
     rpl005_pickling,
     rpl006_checkpoint_atomicity,
+    rpl007_streaming_flatness,
 )

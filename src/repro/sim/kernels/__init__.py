@@ -37,6 +37,8 @@ execution path                               stdlib     numpy
 communication policies incl. p2p_filter)     yes        yes
 ``hindex_iteration`` (flat baseline)         yes        yes
 ``run_pregel_kcore(engine="flat")``          yes        yes
+``FlatDynamicKCore`` streaming maintenance
+(dynamic-CSR edits + re-convergence)         yes        yes
 object engines (``round`` / ``async``)       n/a [2]_   n/a [2]_
 ===========================================  =========  =========
 

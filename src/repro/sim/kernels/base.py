@@ -301,6 +301,69 @@ class KernelBackend(Protocol):
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # dynamic-CSR edit kernels (streaming maintenance)
+    # ------------------------------------------------------------------
+    def csr_insert_slots(
+        self, starts: Table, used: Table, targets: Table, owners, values
+    ) -> None:
+        """Append a batch of edge slots to a dynamic CSR.
+
+        For each position ``i`` *in batch order*: write ``values[i]``
+        into the next free slot of ``owners[i]``'s region
+        (``targets[starts[o] + used[o]]``) and bump ``used[o]``. The
+        caller (:class:`~repro.graph.dynamic_csr.DynamicCSRGraph`) has
+        already validated the batch and reserved capacity. Batch order
+        is part of the contract: backends must produce identical slot
+        layouts (repeated owners fill consecutive slots in batch
+        order), which the kernel tests assert buffer-for-buffer.
+        """
+        raise NotImplementedError
+
+    def csr_delete_slots(
+        self, starts: Table, used: Table, targets: Table, owners, values
+    ) -> None:
+        """Tombstone a batch of edge slots in a dynamic CSR.
+
+        For each position ``i``: find the slot holding ``values[i]``
+        in ``owners[i]``'s used region and overwrite it with the
+        tombstone sentinel (``-1``). The caller guarantees every pair
+        is present and no ``(owner, value)`` pair repeats, so each
+        position hits exactly one live slot; ``used`` is untouched
+        (tombstones keep their slot until compaction).
+        """
+        raise NotImplementedError
+
+    def reconverge_from_bounds(
+        self,
+        starts: Table,
+        used: Table,
+        targets: Table,
+        est: Table,
+        frontier: Sequence[int],
+        scratch: list | None,
+    ) -> tuple[list, int]:
+        """Warm-start re-convergence of the locality operator.
+
+        ``est`` holds a pointwise *upper bound* of the true coreness
+        over a dynamic CSR (tombstoned ``targets`` slots are skipped);
+        iterate ``computeIndex`` to the greatest fixpoint below it —
+        which is the coreness, because iterating from any upper bound
+        is monotone non-increasing and cannot cross a fixpoint (the
+        ``streaming.maintenance`` module docstring carries the full
+        argument). Runs as synchronous (Jacobi) rounds so the round
+        count is schedule-independent: each round recomputes the whole
+        frontier from a snapshot of ``est``, applies every drop at
+        once, then the next frontier is the live neighbours of the
+        dropped rows. Rows with ``est <= 0`` are skipped (they cannot
+        drop); rows with no live slots drop to 0.
+
+        Returns ``(changed, rounds)``: the ascending list of rows
+        whose estimate dropped (builtin ints) and the number of rounds
+        executed — both bit-identical across backends.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
     # shared-memory transport primitives (mp engine, transport="shm")
     # ------------------------------------------------------------------
     def shm_view(self, buf, n: int) -> Table:

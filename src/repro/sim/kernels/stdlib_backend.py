@@ -241,6 +241,61 @@ class StdlibBackend(KernelBackend):
         return dirty
 
     # ------------------------------------------------------------------
+    # dynamic-CSR edit kernels
+    # ------------------------------------------------------------------
+    def csr_insert_slots(self, starts, used, targets, owners, values):
+        for i in range(len(owners)):
+            o = owners[i]
+            targets[starts[o] + used[o]] = values[i]
+            used[o] += 1
+
+    def csr_delete_slots(self, starts, used, targets, owners, values):
+        for i in range(len(owners)):
+            o = owners[i]
+            v = values[i]
+            s = starts[o]
+            for slot in range(s, s + used[o]):
+                if targets[slot] == v:
+                    targets[slot] = -1
+                    break
+
+    def reconverge_from_bounds(self, starts, used, targets, est, frontier,
+                               scratch):
+        # synchronous (Jacobi) rounds so the round count matches the
+        # vectorised backend: recompute the whole frontier from the
+        # current est snapshot, apply the drops together, then the next
+        # frontier is the live neighbourhood of the dropped rows
+        _compute_index = compute_index
+        changed_flag = bytearray(len(used))
+        changed: list[int] = []
+        work = [u for u in frontier if est[u] > 0]
+        rounds = 0
+        while work:
+            rounds += 1
+            drops: list[tuple[int, int]] = []
+            for u in work:
+                s = starts[u]
+                vals = [est[t] for t in targets[s:s + used[u]] if t >= 0]
+                k = _compute_index(vals, est[u], scratch) if vals else 0
+                if k < est[u]:
+                    drops.append((u, k))
+            if not drops:
+                break
+            nxt: set[int] = set()
+            for u, k in drops:
+                est[u] = k
+                if not changed_flag[u]:
+                    changed_flag[u] = 1
+                    changed.append(u)
+            for u, _ in drops:
+                s = starts[u]
+                for t in targets[s:s + used[u]]:
+                    if t >= 0 and est[t] > 0:
+                        nxt.add(t)
+            work = sorted(nxt)
+        return sorted(changed), rounds
+
+    # ------------------------------------------------------------------
     # shared-memory transport primitives
     # ------------------------------------------------------------------
     def shm_view(self, buf, n: int):

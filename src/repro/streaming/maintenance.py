@@ -74,6 +74,18 @@ class DynamicKCore:
         self._coreness: dict[int, int] = batagelj_zaversnik(self._graph)
         self._adjacency = _AdjacencyView(self._graph)
         self.touched_last_op = 0
+        #: registry-validated maintenance-cost counters (same keys the
+        #: flat engine emits, minus the CSR-only ones)
+        self.metrics: dict = {
+            "edits_applied": 0,
+            "dirty_nodes_total": 0,
+            "dirty_nodes_per_batch": [],
+        }
+
+    def _account(self, edits: int = 1) -> None:
+        self.metrics["edits_applied"] += edits
+        self.metrics["dirty_nodes_total"] += self.touched_last_op
+        self.metrics["dirty_nodes_per_batch"].append(self.touched_last_op)
 
     # ------------------------------------------------------------------
     @property
@@ -89,6 +101,14 @@ class DynamicKCore:
     def core(self, k: int) -> set[int]:
         """Nodes of the current k-core."""
         return {u for u, c in self._coreness.items() if c >= k}
+
+    def has_node(self, node: int) -> bool:
+        """Whether ``node`` is in the maintained graph."""
+        return self._graph.has_node(node)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``{u, v}`` is in the maintained graph."""
+        return self._graph.has_edge(u, v)
 
     # ------------------------------------------------------------------
     def _subcore(self, roots: Iterable[int], level: int) -> set[int]:
@@ -126,6 +146,7 @@ class DynamicKCore:
         self._graph.add_node(node)
         self._coreness[node] = 0
         self.touched_last_op = 1
+        self._account()
 
     def insert_edge(self, u: int, v: int) -> None:
         """Insert edge {u, v}; creates missing endpoints."""
@@ -146,12 +167,14 @@ class DynamicKCore:
         # the endpoints themselves must also be re-evaluated even when
         # they are not candidates (their neighbourhood grew)
         self._reconverge(estimate, candidates | {u, v})
+        self._account()
 
     def delete_edge(self, u: int, v: int) -> None:
         """Delete edge {u, v} (endpoints stay)."""
         self._graph.remove_edge(u, v)
         # old coreness upper-bounds the new one; re-converge locally
         self._reconverge(dict(self._coreness), {u, v})
+        self._account()
 
     def remove_node(self, node: int) -> None:
         """Remove a node and all its incident edges."""
@@ -162,6 +185,9 @@ class DynamicKCore:
         del self._coreness[node]
         if neighbors:
             self._reconverge(dict(self._coreness), set(neighbors))
+        else:
+            self.touched_last_op = 0
+        self._account()
 
     # ------------------------------------------------------------------
     def verify(self) -> bool:

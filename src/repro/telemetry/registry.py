@@ -161,6 +161,31 @@ _SPECS = (
         "num_workers", "gauge", "int", "workers",
         "pregel", "pregel worker threads/partitions",
     ),
+    MetricSpec(
+        "edits_applied", "counter", "int", "edits",
+        "streaming (flat engine)",
+        "structural edits absorbed (joins, leaves, links, unlinks)",
+    ),
+    MetricSpec(
+        "dirty_nodes_total", "counter", "int", "nodes",
+        "streaming (flat engine)",
+        "rows seeded into or touched by re-convergence, summed over batches",
+    ),
+    MetricSpec(
+        "compactions", "counter", "int", "compactions",
+        "streaming (flat engine)",
+        "dynamic-CSR rebuilds triggered by the tombstone-ratio threshold",
+    ),
+    MetricSpec(
+        "dirty_nodes_per_batch", "histogram", "list[int]", "nodes",
+        "streaming (flat engine)",
+        "per-batch series of dirty-row counts (locality of each batch)",
+    ),
+    MetricSpec(
+        "reconverge_rounds_per_batch", "histogram", "list[int]", "rounds",
+        "streaming (flat engine)",
+        "per-batch series of Jacobi re-convergence rounds",
+    ),
 )
 
 #: name -> spec; the registry proper.

@@ -20,7 +20,7 @@ from repro.graph.graph import Graph
 from repro.utils.rng import make_rng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.streaming import DynamicKCore
+    from repro.streaming import DynamicKCore, FlatDynamicKCore
 
 __all__ = ["ChurnEvent", "ChurnTrace", "generate_churn_trace", "replay_trace"]
 
@@ -138,20 +138,77 @@ def generate_churn_trace(
     return ChurnTrace(initial=initial.copy(), events=events)
 
 
+def _make_engine(engine, trace, backend, telemetry):
+    from repro.streaming import DynamicKCore, FlatDynamicKCore
+
+    if engine is None or engine == "object":
+        return DynamicKCore(trace.initial)
+    if engine == "flat":
+        return FlatDynamicKCore(
+            trace.initial, backend=backend, telemetry=telemetry
+        )
+    if isinstance(engine, str):
+        raise ConfigurationError(
+            f"unknown replay engine {engine!r} (use 'object' or 'flat')"
+        )
+    return engine
+
+
 def replay_trace(
     trace: ChurnTrace,
-    engine: "DynamicKCore | None" = None,
+    engine: "DynamicKCore | FlatDynamicKCore | str | None" = None,
     verify_every: int | None = None,
-) -> "DynamicKCore":
-    """Apply a trace to a :class:`DynamicKCore` (created if omitted).
+    *,
+    backend=None,
+    batch_size: int = 1,
+    telemetry=None,
+) -> "DynamicKCore | FlatDynamicKCore":
+    """Apply a trace to a maintenance engine (created if omitted).
 
+    ``engine`` selects the implementation: ``"object"``/``None`` for the
+    :class:`~repro.streaming.DynamicKCore` oracle, ``"flat"`` for the
+    dynamic-CSR :class:`~repro.streaming.FlatDynamicKCore` (``backend``
+    picks its kernel backend), or an already-constructed engine of
+    either kind.
+
+    The returned engine's ``metrics`` dict surfaces maintenance cost —
+    ``edits_applied``, ``dirty_nodes_total`` and the per-batch
+    ``dirty_nodes_per_batch`` series (plus ``compactions`` and
+    ``reconverge_rounds_per_batch`` on the flat engine) — validated
+    against the telemetry registry before returning. Wall time per
+    batch is a telemetry concern: pass ``telemetry=`` and read the
+    ``churn.apply_batch`` spans.
+
+    ``batch_size`` groups events into ``apply_events`` batches on the
+    flat engine (the object oracle always replays per-event).
     ``verify_every`` cross-checks the maintained coreness against full
     recomputation every N events (slow; for tests).
     """
-    from repro.streaming import DynamicKCore
+    from repro.streaming import FlatDynamicKCore
+    from repro.telemetry.registry import validate_extra
 
-    if engine is None:
-        engine = DynamicKCore(trace.initial)
+    if batch_size < 1:
+        raise ConfigurationError("batch_size must be >= 1")
+    engine = _make_engine(engine, trace, backend, telemetry)
+
+    def checkpoint(index: int) -> None:
+        if verify_every and index % verify_every == 0:
+            if not engine.verify():
+                raise AssertionError(
+                    f"maintained coreness diverged after event {index}"
+                )
+
+    if isinstance(engine, FlatDynamicKCore):
+        events = trace.events
+        step = batch_size if not verify_every else min(
+            batch_size, verify_every
+        )
+        for at in range(0, len(events), step):
+            engine.apply_events(events[at:at + step])
+            checkpoint(at + step)
+        validate_extra(engine.metrics, "replay_trace metrics")
+        return engine
+
     for index, event in enumerate(trace.events, start=1):
         if event.kind == "join":
             new, *contacts = event.nodes
@@ -175,9 +232,6 @@ def replay_trace(
             u, v = event.nodes
             if engine.graph.has_edge(u, v):
                 engine.delete_edge(u, v)
-        if verify_every and index % verify_every == 0:
-            if not engine.verify():
-                raise AssertionError(
-                    f"maintained coreness diverged after event {index}"
-                )
+        checkpoint(index)
+    validate_extra(engine.metrics, "replay_trace metrics")
     return engine

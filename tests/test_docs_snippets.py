@@ -107,6 +107,22 @@ def test_cli_snippets_execute(path: Path):
         assert code == 0, f"CLI snippet at {path.name}:{lineno} exited {code}"
 
 
+def test_live_overlay_churn_example_executes(capsys):
+    """The streaming example must run end to end and actually show the
+    object-vs-flat throughput comparison it advertises."""
+    import runpy
+
+    runpy.run_path(
+        str(REPO / "examples" / "live_overlay_churn.py"),
+        run_name="__main__",
+    )
+    out = capsys.readouterr().out
+    assert "updates/sec" in out
+    assert "object (per-edit)" in out
+    assert "flat-stdlib" in out
+    assert "all engines agree" in out
+
+
 def test_readme_has_cli_coverage():
     """The README actually demonstrates the CLI (guards the policy
     above against becoming vacuous)."""

@@ -1,6 +1,6 @@
 """Tests for replay-lint (:mod:`repro.devtools.lint`).
 
-Every rule RPL001-RPL006 is exercised with at least one passing and one
+Every rule RPL001-RPL007 is exercised with at least one passing and one
 failing fixture snippet (linted under synthetic paths, which is all the
 path-scoped rules look at), plus suppression-comment handling, the JSON
 output schema, CLI exit codes — and the meta-test that pins the live
@@ -28,7 +28,9 @@ from repro.devtools.lint.__main__ import JSON_FORMAT_VERSION, main
 
 REPO = Path(__file__).resolve().parent.parent
 
-ALL_CODES = ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006")
+ALL_CODES = (
+    "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006", "RPL007",
+)
 
 #: A path inside a semantics-bearing package (RPL001 applies).
 SEM = "src/repro/sim/fixture_mod.py"
@@ -565,6 +567,61 @@ class TestRPL006CheckpointAtomicity:
     def test_rule_scoped_to_checkpoint_module(self):
         text = "def save(path, b):\n    open(path, 'w').write(b)\n"
         assert lint_one("src/repro/utils/csvio.py", text) == []
+
+
+FLAT_PATH = "src/repro/streaming/flat_maintenance.py"
+
+
+class TestRPL007StreamingFlatness:
+    def test_module_scope_object_graph_import_flagged(self):
+        found = lint_one(FLAT_PATH, "from repro.graph.graph import Graph\n")
+        assert codes(found) == ["RPL007"]
+        assert "oracle" in found[0].message
+
+    def test_plain_import_form_flagged(self):
+        assert codes(lint_one(
+            FLAT_PATH, "import repro.graph.graph\n"
+        )) == ["RPL007"]
+
+    def test_reexport_from_package_flagged(self):
+        assert codes(lint_one(
+            FLAT_PATH, "from repro.graph import Graph\n"
+        )) == ["RPL007"]
+
+    def test_type_checking_block_passes(self):
+        text = (
+            "from typing import TYPE_CHECKING\n\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.graph.graph import Graph\n"
+        )
+        assert lint_one(FLAT_PATH, text) == []
+
+    def test_function_local_boundary_conversion_passes(self):
+        text = (
+            "def to_graph(self):\n"
+            "    from repro.graph.graph import Graph\n"
+            "    return Graph()\n"
+        )
+        assert lint_one(FLAT_PATH, text) == []
+
+    def test_oracle_module_is_exempt(self):
+        assert lint_one(
+            "src/repro/streaming/maintenance.py",
+            "from repro.graph.graph import Graph\n",
+        ) == []
+
+    def test_non_streaming_modules_untouched(self):
+        assert lint_one(
+            "src/repro/workloads/churn.py",
+            "from repro.graph.graph import Graph\n",
+        ) == []
+
+    def test_other_graph_imports_pass(self):
+        text = (
+            "from repro.graph.csr import CSRGraph\n"
+            "from repro.graph.dynamic_csr import DynamicCSRGraph\n"
+        )
+        assert lint_one(FLAT_PATH, text) == []
 
 
 class TestCLI:
